@@ -1,0 +1,150 @@
+(* The benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks: one Test.make per paper
+   experiment that has a latency dimension (the four S2 use-case queries
+   plus the persistence path), all run against the standard 79-day
+   dataset, reporting nanoseconds per run via OLS.
+
+   Part 2 — the experiment tables: every E1..E15 report from DESIGN.md's
+   experiment index, regenerated and printed (these are the numbers
+   EXPERIMENTS.md quotes).
+
+   Run with: dune exec bench/main.exe
+   Use BENCH_QUICK=1 for a fast smoke run. *)
+
+open Bechamel
+open Toolkit
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+let seed = 42
+
+let dataset =
+  lazy (if quick then Harness.Dataset.with_days ~seed 8 else Harness.Dataset.default ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: micro-benchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let ds = Lazy.force dataset in
+  let index = Core.Api.text_index ds.Harness.Dataset.api in
+  let time_index = Harness.Dataset.time_index ds in
+  let store = Harness.Dataset.store ds in
+  let rng = Provkit_util.Prng.create 2024 in
+  let queries =
+    match
+      List.map
+        (fun (e : Browser.User_model.search_episode) -> e.Browser.User_model.query)
+        ds.Harness.Dataset.trace.Browser.User_model.searches
+    with
+    | [] -> [| "wine" |]
+    | qs -> Array.of_list qs
+  in
+  let downloads =
+    Array.of_list
+      (List.filter_map
+         (fun (d : Browser.User_model.download_episode) ->
+           Core.Prov_store.download_node store d.Browser.User_model.download_id)
+         ds.Harness.Dataset.trace.Browser.User_model.downloads)
+  in
+  let hubs =
+    Array.of_list
+      (List.filter_map
+         (fun h -> Harness.Dataset.page_node ds h)
+         (List.concat_map
+            (fun ti -> Webmodel.Web_graph.hubs_of_topic ds.Harness.Dataset.web ti)
+            (List.init (Webmodel.Web_graph.topic_count ds.Harness.Dataset.web) Fun.id)))
+  in
+  let pick arr = Provkit_util.Prng.pick rng arr in
+  [
+    (* E3/E4: contextual history search (S2.1) *)
+    Test.make ~name:"E3-contextual-history-search"
+      (Staged.stage (fun () ->
+           ignore (Core.Contextual_search.search index (pick queries))));
+    (* E3/E5: personalization term mining (S2.2) *)
+    Test.make ~name:"E3-personalize-web-search"
+      (Staged.stage (fun () -> ignore (Core.Personalize.expand index (pick queries))));
+    (* E3/E6: time-contextual search (S2.3) *)
+    Test.make ~name:"E3-time-contextual-search"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Time_search.search index time_index ~query:(pick queries)
+                ~context:(pick queries))));
+    (* E3/E7: download lineage (S2.4) *)
+    Test.make ~name:"E3-download-lineage"
+      (Staged.stage (fun () ->
+           if Array.length downloads > 0 then
+             ignore (Core.Lineage.first_recognizable store (pick downloads))));
+    Test.make ~name:"E3-downloads-descending"
+      (Staged.stage (fun () ->
+           if Array.length hubs > 0 then
+             ignore (Core.Lineage.downloads_descending store (pick hubs))));
+    (* E3 bounded variant: the paper's 200ms bound *)
+    Test.make ~name:"E3-contextual-bounded-200ms"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Contextual_search.search ~budget:Core.Query_budget.paper_default index
+                (pick queries))));
+    (* E2: the persistence path whose output is measured *)
+    Test.make ~name:"E2-serialize-provenance-store"
+      (Staged.stage (fun () -> ignore (Core.Prov_schema.to_database store)));
+    (* E9: acyclicity check over the whole store *)
+    Test.make ~name:"E9-acyclicity-check"
+      (Staged.stage (fun () -> ignore (Core.Versioning.is_acyclic store)));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if quick then 200 else 1000)
+      ~quota:(Time.second (if quick then 0.2 else 0.7))
+      ~kde:None ()
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  print_endline "== micro-benchmarks (bechamel, ns/run via OLS) ==\n";
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results =
+          Benchmark.all cfg [ Instance.monotonic_clock ]
+            (Test.make_grouped ~name:"" [ test ])
+        in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (est :: _) -> est
+              | _ -> nan
+            in
+            [ name; Printf.sprintf "%.0f ns" ns; Printf.sprintf "%.3f ms" (ns /. 1e6) ]
+            :: acc)
+          analyzed [])
+      tests
+  in
+  Provkit_util.Table_fmt.print
+    ~header:[ "benchmark"; "time/run"; "time/run (ms)" ]
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: experiment tables                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  print_endline "== paper experiment tables (E1..E15) ==";
+  List.iter Harness.Report.print (Harness.Experiments.run_all ~quick ~seed ())
+
+let () =
+  Printf.printf "browser-provenance bench harness (seed %d%s)\n\n" seed
+    (if quick then ", quick mode" else "");
+  (* Building the dataset first keeps its cost out of the micro runs. *)
+  let ds = Lazy.force dataset in
+  Printf.printf "dataset: %d days, %d provenance nodes, %d edges\n\n"
+    ds.Harness.Dataset.trace.Browser.User_model.span_days
+    (Core.Prov_store.node_count (Harness.Dataset.store ds))
+    (Core.Prov_store.edge_count (Harness.Dataset.store ds));
+  run_micro ();
+  run_experiments ()

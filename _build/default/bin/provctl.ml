@@ -1,0 +1,408 @@
+(* provctl: command-line front end for the browser-provenance library.
+
+   Subcommands:
+     generate     simulate browsing; save provenance/places DBs + event log
+     replay       rebuild a provenance store from a recorded event stream
+     stats        node/edge statistics of a saved provenance DB
+     search       contextual history search over a saved DB
+     time-search  "X associated with Y" over a saved DB
+     lineage      first recognizable ancestor of a downloaded file
+     suggest      provenance-aware location-bar suggestions
+     sessions     gap-based session segmentation
+     tree         the Ayers-Stasko navigation forest
+     sql          ad-hoc SQL over any saved database
+     experiments  regenerate every paper experiment table *)
+
+open Cmdliner
+
+let days_arg =
+  Arg.(value & opt int 79 & info [ "days" ] ~docv:"DAYS" ~doc:"Simulated days of browsing.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"FILE" ~doc:"Path to a saved provenance database.")
+
+let limit_arg =
+  Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Maximum results.")
+
+let budget_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS" ~doc:"Bound the query to this many milliseconds.")
+
+let budget_of = function
+  | None -> Core.Query_budget.unlimited
+  | Some ms -> Core.Query_budget.deadline ms
+
+let load_store path =
+  let db = Relstore.Database.load ~path in
+  Core.Prov_schema.of_database db
+
+(* --- generate ------------------------------------------------------- *)
+
+let generate days seed out places_out events_out =
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let store = Harness.Dataset.store ds in
+  Printf.printf "simulated %d days (seed %d): %d nodes, %d edges\n" days seed
+    (Core.Prov_store.node_count store)
+    (Core.Prov_store.edge_count store);
+  let prov_db = Core.Prov_schema.to_database store in
+  Relstore.Database.save prov_db ~path:out;
+  Printf.printf "provenance db -> %s (%s)\n" out
+    (Harness.Report.fmt_bytes (Relstore.Database.total_size prov_db));
+  (match places_out with
+  | None -> ()
+  | Some path ->
+    let places_db = Browser.Places_db.database (Harness.Dataset.places ds) in
+    Relstore.Database.save places_db ~path;
+    Printf.printf "places db -> %s (%s)\n" path
+      (Harness.Report.fmt_bytes (Relstore.Database.total_size places_db)));
+  match events_out with
+  | None -> ()
+  | Some path ->
+    let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+    Browser.Event_codec.save ~path events;
+    Printf.printf "event log -> %s (%d events)\n" path (List.length events)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt string "prov.db"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Provenance database output path.")
+  in
+  let places_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "places-out" ] ~docv:"FILE" ~doc:"Also save the Places baseline here.")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE" ~doc:"Also save the raw browser event stream.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Simulate browsing and save the provenance store")
+    Term.(const generate $ days_arg $ seed_arg $ out $ places_out $ events_out)
+
+(* --- replay ----------------------------------------------------------- *)
+
+let replay events_path out =
+  let events = Browser.Event_codec.load ~path:events_path in
+  let capture, feed = Core.Capture.observer () in
+  Browser.Event_codec.replay events [ feed ];
+  let store = Core.Capture.store capture in
+  Printf.printf "replayed %d events: %d nodes, %d edges\n" (List.length events)
+    (Core.Prov_store.node_count store)
+    (Core.Prov_store.edge_count store);
+  let db = Core.Prov_schema.to_database store in
+  Relstore.Database.save db ~path:out;
+  Printf.printf "provenance db -> %s (%s)\n" out
+    (Harness.Report.fmt_bytes (Relstore.Database.total_size db))
+
+let events_path_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"EVENTS" ~doc:"An event stream saved by generate --events-out.")
+
+let replay_out_arg =
+  Arg.(
+    value & opt string "replayed.db"
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Provenance database output path.")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Rebuild a provenance store from a recorded event stream")
+    Term.(const replay $ events_path_arg $ replay_out_arg)
+
+(* --- stats ---------------------------------------------------------- *)
+
+let stats db =
+  let store = load_store db in
+  Format.printf "%a" Core.Prov_store.pp_stats store;
+  Printf.printf "causal graph acyclic: %b\n" (Core.Versioning.is_acyclic store)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Statistics of a saved provenance database")
+    Term.(const stats $ db_arg)
+
+(* --- search --------------------------------------------------------- *)
+
+let print_pages store results =
+  List.iteri
+    (fun i (page, score) ->
+      match (Core.Prov_store.node store page).Core.Prov_node.kind with
+      | Core.Prov_node.Page { url; title } ->
+        Printf.printf "%2d. %-50s %s  (%.2f)\n" (i + 1)
+          (Provkit_util.Strutil.truncate 50 title)
+          url score
+      | _ -> ())
+    results
+
+let search db query limit budget_ms =
+  let store = load_store db in
+  let index = Core.Prov_text_index.build store in
+  let response =
+    Core.Contextual_search.search ~budget:(budget_of budget_ms) ~limit index query
+  in
+  print_pages store
+    (List.map
+       (fun (r : Core.Contextual_search.result) ->
+         (r.Core.Contextual_search.page, r.Core.Contextual_search.score))
+       response.Core.Contextual_search.results);
+  Printf.printf "(%.1f ms%s)\n" response.Core.Contextual_search.elapsed_ms
+    (if response.Core.Contextual_search.truncated then ", truncated" else "")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Search terms.")
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search" ~doc:"Contextual history search over a saved database")
+    Term.(const search $ db_arg $ query_arg $ limit_arg $ budget_arg)
+
+(* --- time-search ----------------------------------------------------- *)
+
+let time_search db query context limit budget_ms =
+  let store = load_store db in
+  let index = Core.Prov_text_index.build store in
+  let time_index = Core.Time_edges.rebuild_time_index store in
+  let response =
+    Core.Time_search.search ~budget:(budget_of budget_ms) ~limit index time_index ~query
+      ~context
+  in
+  print_pages store
+    (List.map
+       (fun (r : Core.Time_search.result) -> (r.Core.Time_search.page, r.Core.Time_search.score))
+       response.Core.Time_search.results);
+  Printf.printf "(%.1f ms)\n" response.Core.Time_search.elapsed_ms
+
+let context_arg =
+  Arg.(
+    required & pos 1 (some string) None
+    & info [] ~docv:"CONTEXT" ~doc:"What else was on screen at the time.")
+
+let time_search_cmd =
+  Cmd.v
+    (Cmd.info "time-search" ~doc:"\"QUERY associated with CONTEXT\" history search")
+    Term.(const time_search $ db_arg $ query_arg $ context_arg $ limit_arg $ budget_arg)
+
+(* --- lineage --------------------------------------------------------- *)
+
+let lineage db path_fragment dot_out =
+  let store = load_store db in
+  let downloads =
+    Core.Prov_store.nodes_of_kind store (fun n ->
+        match n.Core.Prov_node.kind with
+        | Core.Prov_node.Download { target_path; _ } ->
+          Provkit_util.Strutil.contains_substring ~needle:path_fragment target_path
+        | _ -> false)
+  in
+  match downloads with
+  | [] -> Printf.printf "no download matching %S\n" path_fragment
+  | node :: _ -> begin
+    Printf.printf "download: %s\n"
+      (Core.Prov_node.display (Core.Prov_store.node store node));
+    match Core.Lineage.first_recognizable store node with
+    | None -> print_endline "no recognizable ancestor found"
+    | Some origin ->
+      Printf.printf "recognized origin (%d hops):\n" origin.Core.Lineage.distance;
+      List.iter
+        (fun line -> Printf.printf "  %s\n" line)
+        (Core.Lineage.describe_path store origin.Core.Lineage.path);
+      match dot_out with
+      | None -> ()
+      | Some path ->
+        Core.Dot_export.save ~path (Core.Dot_export.export_lineage store origin);
+        Printf.printf "lineage graph -> %s (render with: dot -Tsvg %s)\n" path path
+  end
+
+let fragment_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Substring of the downloaded file's path.")
+
+let dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Also write the lineage as a GraphViz file.")
+
+let lineage_cmd =
+  Cmd.v
+    (Cmd.info "lineage" ~doc:"Where did this download come from?")
+    Term.(const lineage $ db_arg $ fragment_arg $ dot_arg)
+
+(* --- sessions ---------------------------------------------------------- *)
+
+let sessions db about =
+  let store = load_store db in
+  let sessions = Sys.opaque_identity (Core.Sessions.detect store) in
+  match about with
+  | None ->
+    Printf.printf "%d sessions\n" (List.length sessions);
+    List.iter (fun s -> print_endline (Core.Sessions.describe store s)) sessions
+  | Some query ->
+    let index = Core.Prov_text_index.build store in
+    List.iter
+      (fun (s, score) ->
+        Printf.printf "%.2f  %s\n" score (Core.Sessions.describe store s))
+      (Core.Sessions.matching index sessions query)
+
+let about_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "about" ] ~docv:"TEXT" ~doc:"Only sessions matching this text, best first.")
+
+let sessions_cmd =
+  Cmd.v
+    (Cmd.info "sessions" ~doc:"Segment history into browsing sessions")
+    Term.(const sessions $ db_arg $ about_arg)
+
+(* --- sql -------------------------------------------------------------- *)
+
+let sql db statement explain_only =
+  let database = Relstore.Database.load ~path:db in
+  if explain_only then print_endline (Relstore.Sql.explain database statement)
+  else begin
+    match Relstore.Sql.query database statement with
+    | result ->
+      print_string (Relstore.Sql.render result);
+      Printf.printf "(%d rows)\n" (List.length result.Relstore.Sql.rows)
+    | exception Relstore.Sql.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  end
+
+let statement_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"SQL" ~doc:"e.g. \"SELECT label FROM prov_node WHERE kind = 4 LIMIT 10\".")
+
+let explain_flag =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Show the planner's access path instead of rows.")
+
+let sql_cmd =
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run a SQL query against a saved database (provenance or places)")
+    Term.(const sql $ db_arg $ statement_arg $ explain_flag)
+
+(* --- suggest ----------------------------------------------------------- *)
+
+let suggest db typed context_terms =
+  let store = load_store db in
+  (* Resolve a textual context into store nodes: the best-matching pages. *)
+  let context =
+    match context_terms with
+    | None -> []
+    | Some text ->
+      let index = Core.Prov_text_index.build store in
+      List.map fst (Core.Prov_text_index.search ~limit:3 index text)
+  in
+  List.iteri
+    (fun i s ->
+      Printf.printf "%d. %-48s %s  (base %.2f + context %.2f)\n" (i + 1)
+        (Provkit_util.Strutil.truncate 48 s.Core.Suggest.title)
+        s.Core.Suggest.url s.Core.Suggest.base_score s.Core.Suggest.context_score)
+    (Core.Suggest.suggest ~context store typed)
+
+let typed_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TYPED" ~doc:"What the user typed.")
+
+let context_arg_opt =
+  Arg.(
+    value & opt (some string) None
+    & info [ "context" ] ~docv:"TEXT" ~doc:"What the user is currently looking at.")
+
+let suggest_cmd =
+  Cmd.v
+    (Cmd.info "suggest" ~doc:"Provenance-aware location-bar suggestions")
+    Term.(const suggest $ db_arg $ typed_arg $ context_arg_opt)
+
+(* --- tree ------------------------------------------------------------ *)
+
+let tree db since max_nodes =
+  let store = load_store db in
+  let t = Core.History_tree.build store in
+  Printf.printf "%d visits in %d sessions (forest: %b)\n\n"
+    (Core.History_tree.size t)
+    (List.length (Core.History_tree.roots t))
+    (Core.History_tree.is_forest t);
+  print_string (Core.History_tree.render ~max_nodes ?since store t)
+
+let since_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "since" ] ~docv:"TIME" ~doc:"Only sessions starting at or after this time.")
+
+let max_nodes_arg =
+  Arg.(value & opt int 120 & info [ "max-nodes" ] ~docv:"N" ~doc:"Output size cap.")
+
+let tree_cmd =
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Render the navigation-history forest (Ayers-Stasko view)")
+    Term.(const tree $ db_arg $ since_arg $ max_nodes_arg)
+
+(* --- expire ------------------------------------------------------------ *)
+
+let expire db cutoff out =
+  let store = load_store db in
+  let before = Relstore.Database.total_size (Relstore.Database.load ~path:db) in
+  let r = Core.Retention.expire ~cutoff store in
+  let out_db = Core.Prov_schema.to_database r.Core.Retention.store in
+  Relstore.Database.save out_db ~path:out;
+  Printf.printf
+    "expired %d visit instances before t=%d; %d summary edges added; %d nodes kept\n"
+    r.Core.Retention.expired_visits cutoff r.Core.Retention.summary_edges
+    r.Core.Retention.kept_nodes;
+  Printf.printf "%s -> %s (%s -> %s)\n" db out
+    (Harness.Report.fmt_bytes before)
+    (Harness.Report.fmt_bytes (Relstore.Database.total_size out_db))
+
+let cutoff_arg =
+  Arg.(
+    required & pos 0 (some int) None
+    & info [] ~docv:"CUTOFF" ~doc:"Expire visit instances opened before this time.")
+
+let expire_out_arg =
+  Arg.(
+    value & opt string "expired.db"
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output database path.")
+
+let expire_cmd =
+  Cmd.v
+    (Cmd.info "expire"
+       ~doc:"Provenance-preserving history expiration (old visits become page summaries)")
+    Term.(const expire $ db_arg $ cutoff_arg $ expire_out_arg)
+
+(* --- experiments ----------------------------------------------------- *)
+
+let experiments seed quick =
+  List.iter Harness.Report.print (Harness.Experiments.run_all ~quick ~seed ())
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small dataset, fewer samples.")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate every paper experiment table")
+    Term.(const experiments $ seed_arg $ quick_arg)
+
+let () =
+  let doc = "browser provenance: capture, store and query (TaPP '09 reproduction)" in
+  let info = Cmd.info "provctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; replay_cmd; stats_cmd; search_cmd; time_search_cmd; lineage_cmd;
+            tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; experiments_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/download_lineage.ml: Browser Core Harness List Printf Webmodel

@@ -1,0 +1,1 @@
+examples/download_lineage.mli:

@@ -1,0 +1,1 @@
+examples/location_bar.ml: Browser Core List Option Printf Provkit_util String Webmodel

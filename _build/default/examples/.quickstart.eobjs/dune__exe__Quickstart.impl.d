@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Browser Core Format List Printf Relstore Webmodel

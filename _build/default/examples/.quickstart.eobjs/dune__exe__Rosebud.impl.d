@@ -1,0 +1,1 @@
+examples/rosebud.ml: Array Browser Core Int List Printf Provkit_util String Webmodel

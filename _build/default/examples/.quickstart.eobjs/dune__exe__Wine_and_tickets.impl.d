@@ -1,0 +1,1 @@
+examples/wine_and_tickets.ml: Browser Core List Printf Provkit_util Webmodel

@@ -1,0 +1,1 @@
+examples/wine_and_tickets.mli:

@@ -1,0 +1,73 @@
+(* The smart location bar, before and after provenance (S1 + S2.2).
+
+   The same user history; the same half-typed word; two suggestion
+   engines.  The baseline awesome bar ranks by frecency, so the globally
+   popular sense of an ambiguous word always wins.  The provenance-aware
+   engine also looks at what is on screen *right now* and boosts graph
+   neighbors of the current context — so while she is reading gardening
+   pages, "rose..." means her gardening rosebud page.
+
+   Run with: dune exec examples/location_bar.exe *)
+
+module Web = Webmodel.Web_graph
+module Engine = Browser.Engine
+
+let () =
+  let web = Web.generate ~seed:77 () in
+  let search_engine = Webmodel.Search_engine.build web in
+  let engine = Engine.create ~web ~search:search_engine () in
+  let prov = Core.Api.attach engine in
+  let ambiguity = List.hd (Web.ambiguities web) in
+  let name_of ti = Webmodel.Topic.name (Web.topic web ti) in
+  Printf.printf "ambiguous word: %S (%s vs %s)\n" ambiguity.Web.term
+    (name_of ambiguity.Web.topic_a) (name_of ambiguity.Web.topic_b);
+
+  (* History: the sense-A page is an old favorite (many visits); the
+     sense-B page was seen once. *)
+  let sense_a = List.hd ambiguity.Web.pages_a in
+  let sense_b = List.hd ambiguity.Web.pages_b in
+  let tab = Engine.open_tab engine ~time:1000 () in
+  let clock = ref 1000 in
+  let visit p = clock := !clock + 60; ignore (Engine.visit_typed engine ~time:!clock ~tab p) in
+  for _ = 1 to 6 do visit sense_a done;
+  (* Right now: a topic-B session — some hubs, her rosebud page, one
+     more hub currently on screen. *)
+  List.iter visit (Web.hubs_of_topic web ambiguity.Web.topic_b);
+  visit sense_b;
+  visit (List.hd (Web.hubs_of_topic web ambiguity.Web.topic_b));
+  let current = Engine.current_visit engine tab in
+
+  let typed = String.sub ambiguity.Web.term 0 4 in
+  Printf.printf "\nshe types %S while reading %s pages...\n\n" typed
+    (name_of ambiguity.Web.topic_b);
+
+  (* Baseline: Firefox 3's awesome bar over Places. *)
+  let bar = Browser.Awesomebar.build (Engine.places engine) in
+  print_endline "awesome bar (frecency):";
+  List.iteri
+    (fun i (s : Browser.Awesomebar.suggestion) ->
+      Printf.printf "  %d. %-44s %s\n" (i + 1)
+        (Provkit_util.Strutil.truncate 44 s.Browser.Awesomebar.title)
+        s.Browser.Awesomebar.url)
+    (Browser.Awesomebar.suggest ~limit:3 bar typed);
+
+  (* Provenance: the same candidates, re-ranked by graph proximity to
+     the visit currently on screen. *)
+  let store = Core.Api.store prov in
+  let context =
+    match current with
+    | Some v -> Option.to_list (Core.Prov_store.visit_node store v.Engine.visit_id)
+    | None -> []
+  in
+  print_endline "provenance suggestions (context-aware):";
+  List.iteri
+    (fun i (s : Core.Suggest.suggestion) ->
+      Printf.printf "  %d. %-44s %s\n" (i + 1)
+        (Provkit_util.Strutil.truncate 44 s.Core.Suggest.title)
+        s.Core.Suggest.url)
+    (Core.Suggest.suggest ~limit:3 ~context store typed);
+
+  let url p = Webmodel.Url.to_string (Web.page web p).Webmodel.Page_content.url in
+  Printf.printf "\n(the %s sense lives at %s; the %s sense at %s)\n"
+    (name_of ambiguity.Web.topic_a) (url sense_a)
+    (name_of ambiguity.Web.topic_b) (url sense_b)

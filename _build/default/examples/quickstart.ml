@@ -1,0 +1,59 @@
+(* Quickstart: build a small synthetic web, attach provenance capture to
+   a browser engine, browse a little, and ask the provenance store what
+   happened.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A world to browse: a topical synthetic web and a search engine
+        over it. *)
+  let web = Webmodel.Web_graph.generate ~seed:7 () in
+  let search_engine = Webmodel.Search_engine.build web in
+  Printf.printf "synthetic web: %d pages across %d topics\n"
+    (Webmodel.Web_graph.page_count web)
+    (Webmodel.Web_graph.topic_count web);
+
+  (* 2. A browser with provenance capture attached (the one line that
+        turns history into provenance). *)
+  let engine = Browser.Engine.create ~web ~search:search_engine () in
+  let prov = Core.Api.attach engine in
+
+  (* 3. Browse: open a tab, search, click a result, follow a link. *)
+  let tab = Browser.Engine.open_tab engine ~time:1000 () in
+  let _serp, results = Browser.Engine.search engine ~time:1010 ~tab "wine" in
+  (match results with
+  | [] -> print_endline "no results!"
+  | top :: _ ->
+    let v1 =
+      Browser.Engine.click_result engine ~time:1020 ~tab top.Webmodel.Search_engine.page
+    in
+    Printf.printf "clicked result: %s\n" v1.Browser.Engine.title;
+    (* Follow a link off the page we landed on. *)
+    let page = Webmodel.Web_graph.page web top.Webmodel.Search_engine.page in
+    (match Array.to_list page.Webmodel.Page_content.links with
+    | [] -> ()
+    | link :: _ ->
+      let v2 = Browser.Engine.visit_link engine ~time:1040 ~tab link in
+      Printf.printf "followed link to: %s\n" v2.Browser.Engine.title));
+  Browser.Engine.close_tab engine ~time:1100 tab;
+
+  (* 4. What does the provenance store know? *)
+  let store = Core.Api.store prov in
+  Format.printf "%a" Core.Prov_store.pp_stats store;
+
+  (* 5. Contextual history search: the paper's headline query.  The page
+        we clicked is in the lineage of the search term "wine", so
+        searching history for "wine" surfaces it even if its own text
+        never mentions wine. *)
+  let response = Core.Api.contextual_history_search prov "wine" in
+  print_endline "contextual history search for \"wine\":";
+  List.iteri
+    (fun i (r : Core.Contextual_search.result) ->
+      Printf.printf "  %d. %s  (score %.2f)\n" (i + 1)
+        (Core.Api.page_title prov r.Core.Contextual_search.page)
+        r.Core.Contextual_search.score)
+    response.Core.Contextual_search.results;
+
+  (* 6. Persist the provenance graph relationally and report its size. *)
+  let db = Core.Api.persist prov in
+  Printf.printf "relational image: %d bytes\n" (Relstore.Database.total_size db)

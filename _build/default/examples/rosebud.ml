@@ -1,0 +1,136 @@
+(* The paper's rosebud scenarios, end to end.
+
+   S2.1 (contextual history search): a user searches the web for
+   "rosebud" and clicks through to a page whose own text never mentions
+   rosebud.  Later, searching *history* for rosebud should return that
+   page — textual history search cannot, provenance can.
+
+   S2.2 (personalizing web search): a different user is a gardener; to
+   her "rosebud" means a flower.  Her provenance-aware browser expands
+   the web query with terms from her own history — without telling the
+   search engine anything about her.
+
+   Run with: dune exec examples/rosebud.exe *)
+
+module Web = Webmodel.Web_graph
+module Engine = Browser.Engine
+
+let hr title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  let web = Web.generate ~seed:2009 () in
+  let search_engine = Webmodel.Search_engine.build web in
+  (* The generator plants genuinely ambiguous terms across topic pairs;
+     "rosebud" is always the first. *)
+  let ambiguity =
+    match List.find_opt (fun a -> a.Web.term = "rosebud") (Web.ambiguities web) with
+    | Some a -> a
+    | None -> failwith "no rosebud ambiguity in this web"
+  in
+  let name_of ti = Webmodel.Topic.name (Web.topic web ti) in
+  Printf.printf "\"rosebud\" is ambiguous between %s and %s in this web\n"
+    (name_of ambiguity.Web.topic_a) (name_of ambiguity.Web.topic_b);
+
+  (* ----------------------------------------------------------------- *)
+  hr "S2.1: contextual history search";
+  let engine = Engine.create ~web ~search:search_engine () in
+  let prov = Core.Api.attach engine in
+  let tab = Engine.open_tab engine ~time:100 () in
+  let _serp, results = Engine.search engine ~time:110 ~tab "rosebud" in
+  (* The user clicks the sense-A result (her Citizen Kane). *)
+  let target =
+    match
+      List.find_opt
+        (fun (r : Webmodel.Search_engine.result) ->
+          List.mem r.Webmodel.Search_engine.page ambiguity.Web.pages_a)
+        results
+    with
+    | Some r -> r.Webmodel.Search_engine.page
+    | None -> failwith "rosebud results lack the planted sense"
+  in
+  let visit = Engine.click_result engine ~time:130 ~tab target in
+  Printf.printf "user clicked: %s\n" visit.Engine.title;
+  (* From the result she follows a link to the page she actually cares
+     about — her Citizen Kane.  Its own text never mentions rosebud;
+     only provenance connects it to the search term. *)
+  let page = Web.page web target in
+  let citizen_kane =
+    match
+      List.find_opt
+        (fun link ->
+          let p = Web.page web link in
+          p.Webmodel.Page_content.kind = Webmodel.Page_content.Article
+          && not
+               (Provkit_util.Strutil.contains_substring ~needle:"rosebud"
+                  (String.lowercase_ascii p.Webmodel.Page_content.title)))
+        (Array.to_list page.Webmodel.Page_content.links)
+    with
+    | Some link -> link
+    | None -> failwith "the rosebud page links nowhere rosebud-free"
+  in
+  let ck_visit = Engine.visit_link engine ~time:160 ~tab citizen_kane in
+  Printf.printf "...and read on to: %s (no 'rosebud' anywhere on it)\n" ck_visit.Engine.title;
+  Engine.close_tab engine ~time:300 tab;
+
+  (* Later: search history for "rosebud". *)
+  let target_url =
+    Webmodel.Url.to_string (Web.page web citizen_kane).Webmodel.Page_content.url
+  in
+  let baseline = Browser.History_search.build (Engine.places engine) in
+  print_endline "textual history search (the baseline browser):";
+  List.iteri
+    (fun i (r : Browser.History_search.result) ->
+      let p = Browser.Places_db.place (Engine.places engine) r.Browser.History_search.place_id in
+      Printf.printf "  %d. %s %s\n" (i + 1) p.Browser.Places_db.title
+        (if p.Browser.Places_db.url = target_url then " <-- the page she wants" else ""))
+    (Browser.History_search.search ~limit:5 baseline "rosebud");
+  print_endline "provenance contextual history search:";
+  let response = Core.Api.contextual_history_search prov "rosebud" in
+  List.iteri
+    (fun i (r : Core.Contextual_search.result) ->
+      Printf.printf "  %d. %s %s\n" (i + 1)
+        (Core.Api.page_title prov r.Core.Contextual_search.page)
+        (if Core.Api.page_url prov r.Core.Contextual_search.page = target_url then
+           " <-- the page she wants"
+         else ""))
+    response.Core.Contextual_search.results;
+
+  (* ----------------------------------------------------------------- *)
+  hr "S2.2: personalizing web search (the gardener)";
+  let engine2 = Engine.create ~web ~search:search_engine () in
+  let prov2 = Core.Api.attach engine2 in
+  let sense_b = ambiguity.Web.topic_b in
+  (* The gardener's ordinary browsing: hubs and articles of her topic,
+     including the rosebud-sense pages. *)
+  let tab2 = Engine.open_tab engine2 ~time:1000 () in
+  let clock = ref 1000 in
+  let visit_page p =
+    clock := !clock + 30;
+    ignore (Engine.visit_typed engine2 ~time:!clock ~tab:tab2 p)
+  in
+  List.iter visit_page (Web.hubs_of_topic web sense_b);
+  List.iter visit_page ambiguity.Web.pages_b;
+  List.iter visit_page ambiguity.Web.pages_b;  (* she revisits: they matter to her *)
+  Engine.close_tab engine2 ~time:(!clock + 30) tab2;
+
+  let expansion = Core.Api.personalize_web_search prov2 "rosebud" in
+  Printf.printf "query sent to the engine: %S (expanded from %S)\n"
+    expansion.Core.Personalize.expanded expansion.Core.Personalize.original;
+  let rank_of_sense query =
+    let results = Webmodel.Search_engine.search ~limit:10 search_engine query in
+    let ranks =
+      List.filter_map
+        (fun p ->
+          Core.Metrics.rank_of ~equal:Int.equal p
+            (List.map (fun (r : Webmodel.Search_engine.result) -> r.Webmodel.Search_engine.page) results))
+        ambiguity.Web.pages_b
+    in
+    match ranks with [] -> None | _ -> Some (List.fold_left min max_int ranks)
+  in
+  let show label rank =
+    Printf.printf "%s: %s\n" label
+      (match rank with None -> "her sense is not in the top 10" | Some r -> Printf.sprintf "her sense ranks #%d" r)
+  in
+  show "raw \"rosebud\" web search     " (rank_of_sense "rosebud");
+  show "provenance-expanded web search" (rank_of_sense expansion.Core.Personalize.expanded);
+  print_endline "(the search engine saw only the expanded string - never her history)"

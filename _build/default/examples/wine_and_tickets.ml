@@ -1,0 +1,92 @@
+(* S2.3: time-contextual history search.
+
+   "Suppose the user is a wine enthusiast.  She wants to find a bottle
+   of wine that she saw on a web page ... she does remember that she was
+   also searching for plane tickets at the time."
+
+   One tab reads wine pages while another searches travel; weeks of
+   other wine browsing bury the page.  A plain "wine" history search
+   drowns; "wine associated with <the travel search>" resurfaces it.
+
+   Run with: dune exec examples/wine_and_tickets.exe *)
+
+module Web = Webmodel.Web_graph
+module Engine = Browser.Engine
+
+let () =
+  let web = Web.generate ~seed:1941 () in
+  let search_engine = Webmodel.Search_engine.build web in
+  let engine = Engine.create ~web ~search:search_engine () in
+  let prov = Core.Api.attach engine in
+  let wine = 0 (* the first default topic is "wine" *) in
+  let travel = 3 (* and "travel" is fourth *) in
+  assert (Webmodel.Topic.name (Web.topic web wine) = "wine");
+  assert (Webmodel.Topic.name (Web.topic web travel) = "travel");
+  let clock = ref 10_000 in
+  let tick () = clock := !clock + 45; !clock in
+
+  (* Weeks of ordinary wine browsing (the noise that makes a plain
+     "wine" search useless). *)
+  let articles =
+    List.filter
+      (fun p -> (Web.page web p).Webmodel.Page_content.kind = Webmodel.Page_content.Article)
+      (Web.pages_of_topic web wine)
+  in
+  let tab = Engine.open_tab engine ~time:(tick ()) () in
+  List.iter (fun p -> ignore (Engine.visit_typed engine ~time:(tick ()) ~tab p)) articles;
+  Engine.close_tab engine ~time:(tick ()) tab;
+
+  (* A week later: the session she will half-remember.  Tab A shows one
+     specific wine page while tab B hunts plane tickets. *)
+  clock := !clock + 7 * 86_400;
+  let tab_a = Engine.open_tab engine ~time:(tick ()) () in
+  let tab_b = Engine.open_tab engine ~time:(tick ()) ~opener:tab_a () in
+  let special = List.nth articles (List.length articles / 2) in
+  ignore (Engine.visit_typed engine ~time:(tick ()) ~tab:tab_a special);
+  let travel_topic = Web.topic web travel in
+  let rng = Provkit_util.Prng.create 99 in
+  let ticket_query =
+    Webmodel.Topic.sample_term travel_topic rng ^ " "
+    ^ Webmodel.Topic.sample_term travel_topic rng
+  in
+  let _serp, results = Engine.search engine ~time:(tick ()) ~tab:tab_b ticket_query in
+  (match results with
+  | top :: _ -> ignore (Engine.click_result engine ~time:(tick ()) ~tab:tab_b top.Webmodel.Search_engine.page)
+  | [] -> ());
+  Engine.close_tab engine ~time:(tick ()) tab_a;
+  Engine.close_tab engine ~time:(tick ()) tab_b;
+
+  (* More wine noise afterwards. *)
+  clock := !clock + 3 * 86_400;
+  let tab = Engine.open_tab engine ~time:(tick ()) () in
+  List.iter (fun p -> ignore (Engine.visit_typed engine ~time:(tick ()) ~tab p)) articles;
+  Engine.close_tab engine ~time:(tick ()) tab;
+
+  let special_url = Webmodel.Url.to_string (Web.page web special).Webmodel.Page_content.url in
+  let mark page =
+    if Core.Api.page_url prov page = special_url then " <-- the bottle she remembers" else ""
+  in
+  Printf.printf "the page to find: %s\n\n"
+    (Web.page web special).Webmodel.Page_content.title;
+
+  print_endline "plain history search for \"wine\" (every wine page matches):";
+  let plain =
+    Core.Contextual_search.textual_only ~limit:5 (Core.Api.text_index prov) "wine"
+  in
+  List.iteri
+    (fun i (r : Core.Contextual_search.result) ->
+      Printf.printf "  %d. %s%s\n" (i + 1)
+        (Core.Api.page_title prov r.Core.Contextual_search.page)
+        (mark r.Core.Contextual_search.page))
+    plain;
+
+  Printf.printf "\n\"wine associated with '%s'\" (time-contextual):\n" ticket_query;
+  let response =
+    Core.Api.time_contextual_search prov ~query:"wine" ~context:ticket_query
+  in
+  List.iteri
+    (fun i (r : Core.Time_search.result) ->
+      Printf.printf "  %d. %s%s\n" (i + 1)
+        (Core.Api.page_title prov r.Core.Time_search.page)
+        (mark r.Core.Time_search.page))
+    response.Core.Time_search.results

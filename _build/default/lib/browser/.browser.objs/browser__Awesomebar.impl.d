@@ -1,0 +1,1 @@
+lib/browser/awesomebar.ml: Float Hashtbl Int List Option Places_db Provkit_util String

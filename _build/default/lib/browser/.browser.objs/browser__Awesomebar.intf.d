@@ -1,0 +1,1 @@
+lib/browser/awesomebar.mli: Places_db

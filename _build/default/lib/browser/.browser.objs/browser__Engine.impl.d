@@ -1,0 +1,1 @@
+lib/browser/engine.ml: Array Event Hashtbl Int List Option Places_db Printf Tabs Transition Webmodel

@@ -1,0 +1,1 @@
+lib/browser/engine.mli: Event Places_db Transition Webmodel

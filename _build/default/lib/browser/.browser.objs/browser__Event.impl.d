@@ -1,0 +1,1 @@
+lib/browser/event.ml: Printf Transition Webmodel

@@ -1,0 +1,1 @@
+lib/browser/event.mli: Transition Webmodel

@@ -1,0 +1,1 @@
+lib/browser/event_codec.ml: Buffer Char Event Fun List Relstore String Transition Webmodel

@@ -1,0 +1,1 @@
+lib/browser/event_codec.mli: Buffer Event

@@ -1,0 +1,1 @@
+lib/browser/history_search.ml: Float Int List Places_db Textindex

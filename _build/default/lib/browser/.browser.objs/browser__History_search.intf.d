@@ -1,0 +1,1 @@
+lib/browser/history_search.mli: Places_db

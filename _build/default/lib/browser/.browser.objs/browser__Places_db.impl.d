@@ -1,0 +1,1 @@
+lib/browser/places_db.ml: Event Int List Option Provkit_util Relstore Transition Webmodel

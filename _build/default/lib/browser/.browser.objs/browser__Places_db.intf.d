@@ -1,0 +1,1 @@
+lib/browser/places_db.mli: Event Relstore Transition

@@ -1,0 +1,1 @@
+lib/browser/places_queries.ml: Hashtbl Int List Option Places_db Relstore String

@@ -1,0 +1,1 @@
+lib/browser/places_queries.mli: Places_db

@@ -1,0 +1,1 @@
+lib/browser/tabs.ml: Hashtbl Int List Printf

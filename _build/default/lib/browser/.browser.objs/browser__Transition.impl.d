@@ -1,0 +1,1 @@
+lib/browser/transition.ml: Format Printf

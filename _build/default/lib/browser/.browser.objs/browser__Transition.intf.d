@@ -1,0 +1,1 @@
+lib/browser/transition.mli: Format

@@ -1,0 +1,1 @@
+lib/browser/user_model.ml: Array Engine Hashtbl Int List Option Provkit_util String Textindex Webmodel

@@ -1,0 +1,1 @@
+lib/browser/user_model.mli: Engine Provkit_util

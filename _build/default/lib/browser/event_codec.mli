@@ -1,0 +1,23 @@
+(** Binary persistence for browser event streams.
+
+    Recording the raw event stream once and replaying it into different
+    consumers is how the ablation experiments compare captures on
+    identical browsing; this codec makes such traces portable files.
+    The format is deterministic and self-delimiting; decoding tolerates
+    a truncated tail (crash semantics identical to {!Core.Prov_log}). *)
+
+val encode_event : Buffer.t -> Event.t -> unit
+val decode_event : string -> int ref -> Event.t
+(** Raises {!Relstore.Errors.Corrupt} on malformed input. *)
+
+val to_bytes : Event.t list -> string
+val of_bytes : ?tolerate_truncation:bool -> string -> Event.t list
+(** [tolerate_truncation] defaults to true: a partial final record is
+    dropped rather than raising. *)
+
+val save : path:string -> Event.t list -> unit
+val load : path:string -> Event.t list
+
+val replay : Event.t list -> (Event.t -> unit) list -> unit
+(** Feed every event to every consumer, in order — e.g. a fresh
+    [Places_db.apply_event] and a [Core.Capture.observer]. *)

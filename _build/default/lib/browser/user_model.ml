@@ -1,0 +1,471 @@
+module Prng = Provkit_util.Prng
+module Web = Webmodel.Web_graph
+module Page = Webmodel.Page_content
+
+type config = {
+  days : int;
+  sessions_per_day : int;
+  actions_per_session : int;
+  topic_interest_skew : float;
+  follow_link_prob : float;
+  search_prob : float;
+  targeted_search_prob : float;
+  ambiguous_search_prob : float;
+  typed_prob : float;
+  revisit_prob : float;
+  new_tab_prob : float;
+  switch_tab_prob : float;
+  bookmark_prob : float;
+  use_bookmark_prob : float;
+  download_prob : float;
+  form_prob : float;
+  dual_topic_session_prob : float;
+  think_time_mean : float;
+  results_considered : int;
+}
+
+let default_config =
+  {
+    days = 79;
+    sessions_per_day = 6;
+    actions_per_session = 40;
+    topic_interest_skew = 1.0;
+    follow_link_prob = 0.75;
+    search_prob = 0.14;
+    targeted_search_prob = 0.35;
+    ambiguous_search_prob = 0.10;
+    typed_prob = 0.08;
+    revisit_prob = 0.6;
+    new_tab_prob = 0.05;
+    switch_tab_prob = 0.08;
+    bookmark_prob = 0.015;
+    use_bookmark_prob = 0.03;
+    download_prob = 0.5;
+    form_prob = 0.02;
+    dual_topic_session_prob = 0.12;
+    think_time_mean = 25.0;
+    results_considered = 5;
+  }
+
+type search_episode = {
+  query : string;
+  time : int;
+  serp_visit : int;
+  intended_topic : int;
+  intended_page : int option;
+  clicked_page : int option;
+  clicked_visit : int option;
+  ambiguous : bool;
+}
+
+type download_episode = {
+  download_id : int;
+  file_page : int;
+  host_page : int;
+  session_entry_page : int;
+  time : int;
+}
+
+type dual_episode = {
+  span_start : int;
+  span_end : int;
+  focus_topic : int;
+  focus_page : int;
+  other_topic : int;
+  other_term : string;
+}
+
+type trace = {
+  searches : search_episode list;
+  downloads : download_episode list;
+  duals : dual_episode list;
+  total_actions : int;
+  span_days : int;
+}
+
+type state = {
+  cfg : config;
+  rng : Prng.t;
+  engine : Engine.t;
+  web : Web.t;
+  interest_order : int array;  (* topic ids, most preferred first *)
+  interest_zipf : Provkit_util.Zipf.t;
+  visited : (int, unit) Hashtbl.t;  (* navigable pages ever visited *)
+  mutable clock : int;
+  mutable searches : search_episode list;
+  mutable downloads : download_episode list;
+  mutable duals : dual_episode list;
+  mutable actions : int;
+}
+
+let tick st =
+  let dt = 1 + int_of_float (Prng.exponential st.rng (1.0 /. st.cfg.think_time_mean)) in
+  st.clock <- st.clock + dt;
+  st.clock
+
+let pick_topic st = st.interest_order.(Provkit_util.Zipf.sample st.interest_zipf st.rng)
+
+let interest_rank st topic =
+  let rank = ref max_int in
+  Array.iteri (fun i t -> if t = topic then rank := i) st.interest_order;
+  !rank
+
+let topic_hub st topic = Prng.pick_list st.rng (Web.hubs_of_topic st.web topic)
+
+let mark_visited st (info : Engine.visit_info) =
+  match info.Engine.page with
+  | Some pid when Page.is_navigable (Web.page st.web pid) ->
+    Hashtbl.replace st.visited pid ()
+  | _ -> ()
+
+let page_of st (info : Engine.visit_info) =
+  Option.map (Web.page st.web) info.Engine.page
+
+let current_page st tab =
+  match Engine.current_visit st.engine tab with
+  | None -> None
+  | Some info -> page_of st info
+
+let navigate_typed st ~tab target =
+  let info = Engine.visit_typed st.engine ~time:(tick st) ~tab target in
+  mark_visited st info;
+  info
+
+let navigate_link st ~tab target =
+  let info = Engine.visit_link st.engine ~time:(tick st) ~tab target in
+  mark_visited st info;
+  info
+
+(* Pick which result (if any) the user clicks: the first one of her
+   intended topic within the window, else — targeted searches — the
+   intended page if shown, else the top result most of the time. *)
+let choose_click st ~intended_topic ~intended_page results =
+  let window = List.filteri (fun i _ -> i < st.cfg.results_considered) results in
+  let of_topic =
+    List.find_opt
+      (fun (r : Webmodel.Search_engine.result) ->
+        (Web.page st.web r.Webmodel.Search_engine.page).Page.topic = intended_topic)
+      window
+  in
+  let exact =
+    match intended_page with
+    | None -> None
+    | Some p ->
+      List.find_opt
+        (fun (r : Webmodel.Search_engine.result) -> r.Webmodel.Search_engine.page = p)
+        window
+  in
+  match (exact, of_topic, window) with
+  | Some r, _, _ -> Some r.Webmodel.Search_engine.page
+  | None, Some r, _ -> Some r.Webmodel.Search_engine.page
+  | None, None, top :: _ ->
+    if Prng.bernoulli st.rng 0.7 then Some top.Webmodel.Search_engine.page else None
+  | None, None, [] -> None
+
+let distinctive_title_terms st page_id =
+  let p = Web.page st.web page_id in
+  let terms = Textindex.Tokenizer.terms ~stem:false p.Page.title in
+  let n = min 3 (List.length terms) in
+  if n = 0 then [ Webmodel.Topic.name (Web.topic st.web p.Page.topic) ]
+  else Prng.sample_without_replacement st.rng n (Array.of_list terms)
+
+(* Links a user can follow as navigation: clicking a file link triggers
+   a download, not a page visit, so File targets are excluded here and
+   handled by the download action instead. *)
+let navigable_links st (page : Page.t) =
+  Array.of_list
+    (List.filter
+       (fun target -> (Web.page st.web target).Page.kind <> Page.File)
+       (Array.to_list page.Page.links))
+
+let articles_of_topic st topic =
+  List.filter
+    (fun pid -> (Web.page st.web pid).Page.kind = Page.Article)
+    (Web.pages_of_topic st.web topic)
+
+let do_search st ~tab ~topic =
+  let ambiguities = Web.ambiguities st.web in
+  let roll = Prng.float st.rng 1.0 in
+  let query, intended_topic, intended_page, ambiguous =
+    if ambiguities <> [] && roll < st.cfg.ambiguous_search_prob then begin
+      let a = Prng.pick_list st.rng ambiguities in
+      (* The user means whichever of the two senses she is more
+         interested in — the paper's gardener and her rosebud. *)
+      let intended =
+        if interest_rank st a.Web.topic_a <= interest_rank st a.Web.topic_b then a.Web.topic_a
+        else a.Web.topic_b
+      in
+      (a.Web.term, intended, None, true)
+    end
+    else if roll < st.cfg.ambiguous_search_prob +. st.cfg.targeted_search_prob then begin
+      match articles_of_topic st topic with
+      | [] -> (Webmodel.Topic.name (Web.topic st.web topic), topic, None, false)
+      | articles ->
+        let target = Prng.pick_list st.rng articles in
+        (String.concat " " (distinctive_title_terms st target), topic, Some target, false)
+    end
+    else begin
+      let tp = Web.topic st.web topic in
+      let n = Prng.int_in st.rng 1 2 in
+      (String.concat " " (Webmodel.Topic.sample_terms tp st.rng n), topic, None, false)
+    end
+  in
+  let serp_info, results = Engine.search st.engine ~time:(tick st) ~tab query in
+  let clicked_page = choose_click st ~intended_topic ~intended_page results in
+  let clicked_visit =
+    match clicked_page with
+    | None -> None
+    | Some page ->
+      let info = Engine.click_result st.engine ~time:(tick st) ~tab page in
+      mark_visited st info;
+      Some info.Engine.visit_id
+  in
+  st.searches <-
+    {
+      query;
+      time = serp_info.Engine.time;
+      serp_visit = serp_info.Engine.visit_id;
+      intended_topic;
+      intended_page;
+      clicked_page;
+      clicked_visit;
+      ambiguous;
+    }
+    :: st.searches
+
+let typed_jump st ~tab ~topic =
+  let revisits =
+    if Prng.bernoulli st.rng st.cfg.revisit_prob then
+      Hashtbl.fold (fun pid () acc -> pid :: acc) st.visited []
+    else []
+  in
+  match revisits with
+  | [] -> ignore (navigate_typed st ~tab (topic_hub st topic))
+  | pages -> ignore (navigate_typed st ~tab (Prng.pick_list st.rng (List.sort Int.compare pages)))
+
+let do_download st ~tab ~(host : Page.t) ~session_entry_page =
+  let files =
+    List.filter
+      (fun pid -> (Web.page st.web pid).Page.kind = Page.File)
+      (Array.to_list host.Page.links)
+  in
+  match files with
+  | [] -> ()
+  | _ ->
+    let file_page = Prng.pick_list st.rng files in
+    let download_id, _info = Engine.download st.engine ~time:(tick st) ~tab ~file_page in
+    st.downloads <-
+      {
+        download_id;
+        file_page;
+        host_page = host.Page.id;
+        session_entry_page;
+        time = st.clock;
+      }
+      :: st.downloads
+
+let do_form st ~tab ~(page : Page.t) =
+  (* A site-local search form: lands on one of the site's own pages. *)
+  match Array.to_list page.Page.links with
+  | [] -> ()
+  | links ->
+    let target = Prng.pick_list st.rng links in
+    let target_page = Web.page st.web target in
+    let query_terms =
+      Textindex.Tokenizer.terms ~stem:false target_page.Page.title
+    in
+    let value =
+      match query_terms with [] -> "search" | t :: _ -> t
+    in
+    let info =
+      Engine.submit_form st.engine ~time:(tick st) ~tab
+        ~fields:[ ("q", value) ] ~result_page:target
+    in
+    mark_visited st info
+
+(* One step of the action walk in [tab].  Returns the possibly-changed
+   active tab (new-tab actions move focus). *)
+let step st ~session_tabs ~session_entry_page tab =
+  st.actions <- st.actions + 1;
+  (* Occasionally open a new tab from the current one and continue there. *)
+  let tab =
+    if Prng.bernoulli st.rng st.cfg.new_tab_prob then begin
+      let fresh = Engine.open_tab st.engine ~time:(tick st) ~opener:tab () in
+      session_tabs := fresh :: !session_tabs;
+      fresh
+    end
+    else if Prng.bernoulli st.rng st.cfg.switch_tab_prob && List.length !session_tabs > 1
+    then Prng.pick_list st.rng !session_tabs
+    else tab
+  in
+  let topic = pick_topic st in
+  (match current_page st tab with
+  | None -> begin
+    (* Fresh tab: enter somewhere. *)
+    match Engine.current_visit st.engine tab with
+    | Some _serp -> begin
+      (* Displaying a SERP with nothing clicked; search again. *)
+      do_search st ~tab ~topic
+    end
+    | None ->
+      if Prng.bernoulli st.rng 0.5 then ignore (navigate_typed st ~tab (topic_hub st topic))
+      else do_search st ~tab ~topic
+  end
+  | Some page ->
+    if page.Page.kind = Page.Download_host && Prng.bernoulli st.rng st.cfg.download_prob
+    then do_download st ~tab ~host:page ~session_entry_page
+    else if Prng.bernoulli st.rng st.cfg.search_prob then do_search st ~tab ~topic
+    else if Prng.bernoulli st.rng st.cfg.typed_prob then typed_jump st ~tab ~topic
+    else if
+      Prng.bernoulli st.rng st.cfg.use_bookmark_prob && Engine.bookmarks st.engine <> []
+    then begin
+      let bookmark, _, _ = Prng.pick_list st.rng (Engine.bookmarks st.engine) in
+      let info = Engine.visit_bookmark st.engine ~time:(tick st) ~tab ~bookmark in
+      mark_visited st info
+    end
+    else if Prng.bernoulli st.rng st.cfg.bookmark_prob then
+      ignore (Engine.add_bookmark st.engine ~time:(tick st) ~tab)
+    else if Prng.bernoulli st.rng st.cfg.form_prob && page.Page.kind = Page.Hub then
+      do_form st ~tab ~page
+    else if Prng.bernoulli st.rng 0.02 then
+      (* An occasional reload of whatever is on screen. *)
+      ignore (Engine.reload st.engine ~time:(tick st) ~tab)
+    else begin
+      let links = navigable_links st page in
+      if Array.length links > 0 && Prng.bernoulli st.rng st.cfg.follow_link_prob then
+        ignore (navigate_link st ~tab (Prng.pick st.rng links))
+      else typed_jump st ~tab ~topic
+    end);
+  tab
+
+let dual_session st ~session_start =
+  (* §2.3's wine-and-plane-tickets pattern: one tab reads topic A while
+     another searches topic B, interleaved in time. *)
+  let focus_topic = pick_topic st in
+  let other_topic =
+    let rec pick () =
+      let t = pick_topic st in
+      if t = focus_topic then pick () else t
+    in
+    pick ()
+  in
+  let tab_a = Engine.open_tab st.engine ~time:(tick st) () in
+  let tab_b = Engine.open_tab st.engine ~time:(tick st) ~opener:tab_a () in
+  ignore (navigate_typed st ~tab:tab_a (topic_hub st focus_topic));
+  let focus_page = ref None in
+  let other_term = ref None in
+  let rounds = max 3 (st.cfg.actions_per_session / 6) in
+  for _ = 1 to rounds do
+    (* Read a couple of links in A. *)
+    for _ = 1 to 2 do
+      match current_page st tab_a with
+      | Some page when Array.length (navigable_links st page) > 0 ->
+        ignore (navigate_link st ~tab:tab_a (Prng.pick st.rng (navigable_links st page)))
+      | _ -> ignore (navigate_typed st ~tab:tab_a (topic_hub st focus_topic))
+    done;
+    (* Search B in the other tab with a distinctive two-word query (the
+       paper's "plane tickets" is two words for a reason: it pins the
+       context to this span of time). *)
+    let tp = Web.topic st.web other_topic in
+    let term =
+      Webmodel.Topic.sample_term tp st.rng ^ " " ^ Webmodel.Topic.sample_term tp st.rng
+    in
+    let _serp, results = Engine.search st.engine ~time:(tick st) ~tab:tab_b term in
+    (match results with
+    | top :: _ when Prng.bernoulli st.rng 0.6 ->
+      ignore (Engine.click_result st.engine ~time:(tick st) ~tab:tab_b top.Webmodel.Search_engine.page)
+    | _ -> ());
+    (* Ground truth: the tab-A page displayed *during this search* is
+       genuinely co-open with it. *)
+    match current_page st tab_a with
+    | Some p when p.Page.kind = Page.Article && p.Page.topic = focus_topic ->
+      focus_page := Some p.Page.id;
+      other_term := Some term
+    | _ -> ()
+  done;
+  let span_end = st.clock in
+  Engine.close_tab st.engine ~time:(tick st) tab_a;
+  Engine.close_tab st.engine ~time:(tick st) tab_b;
+  match (!focus_page, !other_term) with
+  | Some focus_page, Some other_term ->
+    st.duals <-
+      { span_start = session_start; span_end; focus_topic; focus_page; other_topic; other_term }
+      :: st.duals
+  | _ -> ()
+
+let ordinary_session st =
+  let session_tabs = ref [] in
+  let tab = Engine.open_tab st.engine ~time:(tick st) () in
+  session_tabs := [ tab ];
+  let topic = pick_topic st in
+  (* Entry point: mostly a typed jump to a favorite hub, else a search. *)
+  let entry =
+    if Prng.bernoulli st.rng 0.6 then navigate_typed st ~tab (topic_hub st topic)
+    else begin
+      do_search st ~tab ~topic;
+      match Engine.current_visit st.engine tab with
+      | Some info -> info
+      | None -> navigate_typed st ~tab (topic_hub st topic)
+    end
+  in
+  let session_entry_page =
+    match entry.Engine.page with Some p -> p | None -> topic_hub st topic
+  in
+  let actions =
+    max 3 (Prng.int_in st.rng (st.cfg.actions_per_session / 2) (3 * st.cfg.actions_per_session / 2))
+  in
+  let active = ref tab in
+  for _ = 1 to actions do
+    active := step st ~session_tabs ~session_entry_page !active
+  done;
+  List.iter
+    (fun tab ->
+      if Engine.open_tabs st.engine |> List.mem tab then
+        Engine.close_tab st.engine ~time:(tick st) tab)
+    !session_tabs
+
+let run ?(config = default_config) ~rng engine =
+  let web = Engine.web engine in
+  let n_topics = Web.topic_count web in
+  let interest_order = Array.init n_topics (fun i -> i) in
+  Prng.shuffle rng interest_order;
+  let st =
+    {
+      cfg = config;
+      rng;
+      engine;
+      web;
+      interest_order;
+      interest_zipf = Provkit_util.Zipf.create ~n:n_topics ~s:config.topic_interest_skew;
+      visited = Hashtbl.create 1024;
+      clock = 0;
+      searches = [];
+      downloads = [];
+      duals = [];
+      actions = 0;
+    }
+  in
+  for day = 0 to config.days - 1 do
+    let sessions =
+      max 1 (config.sessions_per_day + Prng.int_in rng (-2) 2)
+    in
+    for session = 0 to sessions - 1 do
+      (* Spread sessions across the waking day; never travel back in time. *)
+      let planned =
+        (day * 86_400) + 25_200 + (session * (57_600 / max 1 sessions))
+        + Prng.int rng 1_800
+      in
+      st.clock <- max planned (st.clock + 300);
+      let session_start = st.clock in
+      if Prng.bernoulli rng config.dual_topic_session_prob then
+        dual_session st ~session_start
+      else ordinary_session st
+    done
+  done;
+  {
+    searches = List.rev st.searches;
+    downloads = List.rev st.downloads;
+    duals = List.rev st.duals;
+    total_actions = st.actions;
+    span_days = config.days;
+  }

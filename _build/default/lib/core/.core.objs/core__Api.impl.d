@@ -1,0 +1,1 @@
+lib/core/api.ml: Browser Capture Contextual_search Lineage Personalize Prov_node Prov_schema Prov_store Prov_text_index Time_search

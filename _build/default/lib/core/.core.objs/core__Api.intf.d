@@ -1,0 +1,1 @@
+lib/core/api.mli: Browser Capture Contextual_search Lineage Personalize Prov_store Prov_text_index Query_budget Relstore Time_index Time_search

@@ -1,0 +1,1 @@
+lib/core/capture.ml: Browser Hashtbl Int List Option Prov_edge Prov_store Time_index Webmodel

@@ -1,0 +1,1 @@
+lib/core/capture.mli: Browser Prov_store Time_index

@@ -1,0 +1,1 @@
+lib/core/contextual_search.mli: Prov_text_index Query_budget

@@ -1,0 +1,1 @@
+lib/core/dot_export.ml: Browser Buffer Fun Hashtbl Lineage List Printf Prov_edge Prov_node Prov_store Provgraph Provkit_util String

@@ -1,0 +1,1 @@
+lib/core/dot_export.mli: Lineage Prov_edge Prov_node Prov_store

@@ -1,0 +1,1 @@
+lib/core/history_tree.ml: Buffer Hashtbl Int List Option Printf Prov_edge Prov_node Prov_store Provgraph Provkit_util Relstore Time_edges

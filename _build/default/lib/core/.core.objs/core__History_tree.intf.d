@@ -1,0 +1,1 @@
+lib/core/history_tree.mli: Prov_edge Prov_store

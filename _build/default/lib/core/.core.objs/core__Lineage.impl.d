@@ -1,0 +1,1 @@
+lib/core/lineage.ml: Browser Hashtbl Int List Printf Prov_edge Prov_node Prov_store Provgraph Query_budget Queue Time_edges

@@ -1,0 +1,1 @@
+lib/core/lineage.mli: Prov_store Query_budget

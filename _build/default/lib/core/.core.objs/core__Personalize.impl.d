@@ -1,0 +1,1 @@
+lib/core/personalize.ml: Contextual_search Float Hashtbl List Option Prov_node Prov_store Prov_text_index Query_budget String Textindex

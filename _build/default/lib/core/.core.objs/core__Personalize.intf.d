@@ -1,0 +1,1 @@
+lib/core/personalize.mli: Contextual_search Prov_text_index Query_budget

@@ -1,0 +1,1 @@
+lib/core/prov_edge.ml: Format List Printf

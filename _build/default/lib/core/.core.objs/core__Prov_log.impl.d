@@ -1,0 +1,1 @@
+lib/core/prov_log.ml: Browser Buffer Char Fun List Prov_edge Prov_node Prov_schema Prov_store Relstore String

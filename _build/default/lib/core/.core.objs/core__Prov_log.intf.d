@@ -1,0 +1,1 @@
+lib/core/prov_log.mli: Buffer Prov_edge Prov_node Prov_store Relstore

@@ -1,0 +1,1 @@
+lib/core/prov_node.ml: Browser Format List Printf String Textindex

@@ -1,0 +1,1 @@
+lib/core/prov_schema.ml: Browser Hashtbl List Option Prov_edge Prov_node Prov_store Provgraph Relstore Time_edges

@@ -1,0 +1,1 @@
+lib/core/prov_schema.mli: Prov_store Relstore

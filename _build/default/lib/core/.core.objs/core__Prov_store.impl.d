@@ -1,0 +1,1 @@
+lib/core/prov_store.ml: Browser Format Hashtbl Int List Option Prov_edge Prov_node Provgraph String

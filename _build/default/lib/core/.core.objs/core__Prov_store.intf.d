@@ -1,0 +1,1 @@
+lib/core/prov_store.mli: Browser Format Prov_edge Prov_node Provgraph

@@ -1,0 +1,1 @@
+lib/core/prov_text_index.ml: List Prov_node Prov_store Provgraph Textindex

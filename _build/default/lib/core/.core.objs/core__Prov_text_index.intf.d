@@ -1,0 +1,1 @@
+lib/core/prov_text_index.mli: Prov_store

@@ -1,0 +1,1 @@
+lib/core/query_budget.ml: Int64 Provkit_util

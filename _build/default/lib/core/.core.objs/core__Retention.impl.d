@@ -1,0 +1,1 @@
+lib/core/retention.ml: Hashtbl List Prov_edge Prov_node Prov_store Provgraph

@@ -1,0 +1,1 @@
+lib/core/retention.mli: Prov_store

@@ -1,0 +1,1 @@
+lib/core/sessions.ml: Float Hashtbl Int List Option Printf Prov_node Prov_store Prov_text_index Provgraph String Time_edges

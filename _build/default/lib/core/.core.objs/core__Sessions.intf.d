@@ -1,0 +1,1 @@
+lib/core/sessions.mli: Prov_store Prov_text_index

@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Float Hashtbl Int List Option Prov_edge Prov_node Prov_store Provgraph Provkit_util String

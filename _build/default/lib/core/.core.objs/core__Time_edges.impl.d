@@ -1,0 +1,1 @@
+lib/core/time_edges.ml: Browser Hashtbl Int List Prov_edge Prov_node Prov_store Provgraph Time_index

@@ -1,0 +1,1 @@
+lib/core/time_edges.mli: Prov_node Prov_store Time_index

@@ -1,0 +1,1 @@
+lib/core/time_search.ml: Float Hashtbl Int List Option Prov_edge Prov_node Prov_store Prov_text_index Provgraph Query_budget Textindex Time_index

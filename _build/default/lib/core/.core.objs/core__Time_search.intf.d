@@ -1,0 +1,1 @@
+lib/core/time_search.mli: Prov_text_index Query_budget Time_index

@@ -1,0 +1,1 @@
+lib/core/versioning.ml: Option Prov_edge Prov_node Prov_schema Prov_store Provgraph Relstore

@@ -1,0 +1,1 @@
+lib/core/versioning.mli: Prov_edge Prov_node Prov_store Provgraph Relstore

@@ -1,0 +1,62 @@
+(** The tree structure of fully versioned history (§3.1).
+
+    "If both pages and links are versioned as new instances, and only
+    link relationships are considered, the result is a tree structure.
+    There were a number of early efforts by researchers such as Ayers
+    and Stasko to develop an interface that used this property to
+    visualize recent history; we believe it could also be used for
+    efficient storage."
+
+    This module materializes that observation: every visit instance has
+    at most one *navigation parent* (the traversal edge that displayed
+    it), so the visit graph restricted to navigation edges is a forest.
+    The forest powers a recent-history visualization (the Ayers-Stasko
+    use) and a parent-pointer encoding whose size we compare against the
+    full edge-table encoding (the storage use). *)
+
+type t
+
+type node = {
+  visit : int;  (** visit node id in the store *)
+  parent : int option;  (** navigation parent visit *)
+  children : int list;  (** visit ids, ascending *)
+  edge : Prov_edge.kind option;  (** how this visit was reached *)
+}
+
+val build : Prov_store.t -> t
+(** Extract the navigation forest from a store.  Navigation edges are
+    the traversal kinds (link/typed/bookmark-traversal/redirect/
+    form-result/tab-spawn) between visit instances; when several point
+    at one visit (possible only across distinct event kinds) the
+    earliest wins, preserving the tree property. *)
+
+val node : t -> int -> node option
+val roots : t -> int list
+(** Session starts: visits with no navigation parent, ascending. *)
+
+val size : t -> int
+val is_forest : t -> bool
+(** Every node has at most one parent and there are no cycles; [build]
+    guarantees this, the test suite asserts it. *)
+
+val depth : t -> int -> int
+(** Root distance of a visit; 0 for roots and unknown ids. *)
+
+val subtree : t -> int -> int list
+(** The visit and all its navigation descendants, preorder. *)
+
+val render :
+  ?max_nodes:int -> ?since:int -> Prov_store.t -> t -> string
+(** ASCII tree of (recent) history — the Ayers-Stasko view.  [since]
+    drops sessions rooted before the given time; [max_nodes] truncates
+    output (default 200). *)
+
+type encoding_comparison = {
+  visits : int;
+  parent_pointer_bytes : int;  (** forest encoded as one varint parent per visit *)
+  edge_table_bytes : int;  (** the same edges as relational rows + indexes *)
+}
+
+val storage_comparison : Prov_store.t -> t -> encoding_comparison
+(** The §3.1 storage claim, quantified: encode the navigation structure
+    both ways and compare exact byte sizes. *)

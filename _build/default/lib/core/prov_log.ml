@@ -1,0 +1,213 @@
+module V = Relstore.Varint
+module C = Relstore.Codec
+
+type op =
+  | Add_node of Prov_node.t
+  | Add_edge of { src : int; dst : int; edge : Prov_edge.t }
+  | Close_node of { id : int; time : int }
+
+(* --- op codec --- *)
+
+let write_opt_int buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some n ->
+    Buffer.add_char buf '\001';
+    V.write_signed buf n
+
+let read_opt_int s pos =
+  if !pos >= String.length s then Relstore.Errors.corrupt "prov_log: truncated option"
+  else begin
+    let c = s.[!pos] in
+    incr pos;
+    match c with
+    | '\000' -> None
+    | '\001' -> Some (V.read_signed s pos)
+    | _ -> Relstore.Errors.corrupt "prov_log: bad option tag"
+  end
+
+let write_kind buf (kind : Prov_node.kind) =
+  V.write_unsigned buf (Prov_node.kind_code kind);
+  match kind with
+  | Prov_node.Page { url; title } ->
+    C.write_string buf url;
+    C.write_string buf title
+  | Prov_node.Visit { url; title; transition; tab } ->
+    C.write_string buf url;
+    C.write_string buf title;
+    V.write_unsigned buf (Browser.Transition.to_code transition);
+    V.write_unsigned buf tab
+  | Prov_node.Bookmark { title; url } ->
+    C.write_string buf title;
+    C.write_string buf url
+  | Prov_node.Download { source_url; target_path } ->
+    C.write_string buf source_url;
+    C.write_string buf target_path
+  | Prov_node.Search_term { query } -> C.write_string buf query
+  | Prov_node.Form_submission { fields } ->
+    V.write_unsigned buf (List.length fields);
+    List.iter
+      (fun (k, v) ->
+        C.write_string buf k;
+        C.write_string buf v)
+      fields
+
+let read_kind s pos : Prov_node.kind =
+  match V.read_unsigned s pos with
+  | 0 ->
+    let url = C.read_string s pos in
+    let title = C.read_string s pos in
+    Prov_node.Page { url; title }
+  | 1 ->
+    let url = C.read_string s pos in
+    let title = C.read_string s pos in
+    let transition = Browser.Transition.of_code (V.read_unsigned s pos) in
+    let tab = V.read_unsigned s pos in
+    Prov_node.Visit { url; title; transition; tab }
+  | 2 ->
+    let title = C.read_string s pos in
+    let url = C.read_string s pos in
+    Prov_node.Bookmark { title; url }
+  | 3 ->
+    let source_url = C.read_string s pos in
+    let target_path = C.read_string s pos in
+    Prov_node.Download { source_url; target_path }
+  | 4 -> Prov_node.Search_term { query = C.read_string s pos }
+  | 5 ->
+    let n = V.read_unsigned s pos in
+    let fields =
+      List.init n (fun _ ->
+          let k = C.read_string s pos in
+          let v = C.read_string s pos in
+          (k, v))
+    in
+    Prov_node.Form_submission { fields }
+  | k -> Relstore.Errors.corrupt "prov_log: unknown node kind %d" k
+
+let encode_op buf = function
+  | Add_node n ->
+    Buffer.add_char buf '\000';
+    V.write_unsigned buf n.Prov_node.id;
+    write_kind buf n.Prov_node.kind;
+    write_opt_int buf n.Prov_node.time;
+    write_opt_int buf n.Prov_node.close_time
+  | Add_edge { src; dst; edge } ->
+    Buffer.add_char buf '\001';
+    V.write_unsigned buf src;
+    V.write_unsigned buf dst;
+    V.write_unsigned buf (Prov_edge.kind_code edge.Prov_edge.kind);
+    V.write_signed buf edge.Prov_edge.time
+  | Close_node { id; time } ->
+    Buffer.add_char buf '\002';
+    V.write_unsigned buf id;
+    V.write_signed buf time
+
+let decode_op s pos =
+  if !pos >= String.length s then Relstore.Errors.corrupt "prov_log: truncated op tag"
+  else begin
+    let tag = s.[!pos] in
+    incr pos;
+    match tag with
+    | '\000' ->
+      let id = V.read_unsigned s pos in
+      let kind = read_kind s pos in
+      let time = read_opt_int s pos in
+      let close_time = read_opt_int s pos in
+      Add_node { Prov_node.id; kind; time; close_time }
+    | '\001' ->
+      let src = V.read_unsigned s pos in
+      let dst = V.read_unsigned s pos in
+      let kind = Prov_edge.kind_of_code (V.read_unsigned s pos) in
+      let time = V.read_signed s pos in
+      Add_edge { src; dst; edge = { Prov_edge.kind; time } }
+    | '\002' ->
+      let id = V.read_unsigned s pos in
+      let time = V.read_signed s pos in
+      Close_node { id; time }
+    | c -> Relstore.Errors.corrupt "prov_log: unknown op tag %d" (Char.code c)
+  end
+
+(* --- journal --- *)
+
+let magic = "PROVLOG1"
+
+type t = { buf : Buffer.t; mutable count : int }
+
+let create () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  { buf; count = 0 }
+
+let append t op =
+  encode_op t.buf op;
+  t.count <- t.count + 1
+
+let length t = t.count
+let byte_size t = Buffer.length t.buf
+let to_bytes t = Buffer.contents t.buf
+
+let decode_all ~tolerate_truncation s =
+  let lm = String.length magic in
+  if String.length s < lm || String.sub s 0 lm <> magic then
+    Relstore.Errors.corrupt "prov_log: bad magic";
+  let pos = ref lm in
+  let ops = ref [] in
+  (try
+     while !pos < String.length s do
+       (* Remember where this record started: a truncated tail decodes
+          partially and must be discarded wholesale. *)
+       let start = !pos in
+       match decode_op s pos with
+       | op -> ops := op :: !ops
+       | exception Relstore.Errors.Corrupt _ when tolerate_truncation ->
+         pos := start;
+         raise Exit
+     done
+   with Exit -> ());
+  List.rev !ops
+
+let of_bytes ?(tolerate_truncation = true) s =
+  let t = create () in
+  List.iter (append t) (decode_all ~tolerate_truncation s);
+  t
+
+let ops t = decode_all ~tolerate_truncation:false (to_bytes t)
+
+let recording_store () =
+  let store = Prov_store.create () in
+  let journal = create () in
+  Prov_store.set_observer store (fun m ->
+      append journal
+        (match m with
+        | Prov_store.M_node n -> Add_node n
+        | Prov_store.M_edge (src, dst, edge) -> Add_edge { src; dst; edge }
+        | Prov_store.M_close (id, time) -> Close_node { id; time }));
+  (store, journal)
+
+let replay t =
+  let store = Prov_store.create () in
+  List.iter
+    (fun op ->
+      match op with
+      | Add_node n -> Prov_store.restore_node store n
+      | Add_edge { src; dst; edge } -> Prov_store.restore_edge store ~src ~dst edge
+      | Close_node { id; time } -> begin
+        match Prov_store.node_opt store id with
+        | Some n -> Prov_store.restore_node store { n with Prov_node.close_time = Some time }
+        | None -> ()
+      end)
+    (ops t);
+  store
+
+let save t ~path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_bytes t))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_bytes (really_input_string ic len))
+
+let compact store = (Prov_schema.to_database store, create ())

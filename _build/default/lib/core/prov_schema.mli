@@ -1,0 +1,27 @@
+(** Relational image of the provenance graph (§4).
+
+    The paper's prototype stored heterogeneous provenance objects "as
+    homogeneous graph nodes" in a SQLite schema modelled on Places and
+    measured 39.5 % storage overhead over Places.  This module is that
+    schema over {!Relstore}: three tables — [prov_node], [prov_edge],
+    [prov_attr] — plus the indexes a query engine needs.  Byte sizes
+    come from {!Relstore.Database.total_size}, so the E2 overhead
+    measurement compares like with like. *)
+
+val to_database : Prov_store.t -> Relstore.Database.t
+(** Serialize the store into a fresh relational database.  Two
+    normalizations keep the image Places-comparable: visit rows do not
+    repeat their page's url/title (recovered through the [Instance]
+    edge), and [Same_time] edges are not written at all — they are
+    derivable from the persisted open/close stamps ({!Time_edges}). *)
+
+val of_database : Relstore.Database.t -> Prov_store.t
+(** Rebuild an in-memory store (graph + URL/query lookup tables) from a
+    relational image, including re-deriving [Same_time] edges from the
+    stored intervals.  Engine-id mappings are session state and are not
+    round-tripped.  Raises {!Relstore.Errors.Corrupt} on malformed
+    images. *)
+
+val node_table : string
+val edge_table : string
+val attr_table : string

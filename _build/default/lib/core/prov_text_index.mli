@@ -1,0 +1,34 @@
+(** Text index over provenance nodes.
+
+    Indexes the text-bearing node kinds — pages (title + URL), search
+    terms (their queries) and bookmarks — so queries can find textual
+    seeds in the graph.  Visits are deliberately not indexed separately:
+    they share their page's text, and scoring happens on page nodes. *)
+
+type t
+
+val build : Prov_store.t -> t
+(** Snapshot index of the store's current nodes. *)
+
+val refresh : t -> unit
+(** Re-index after the store has grown. *)
+
+val store : t -> Prov_store.t
+
+val search : ?limit:int -> t -> string -> (int * float) list
+(** Ranked node ids ([limit] defaults to 20). *)
+
+val search_terms : ?limit:int -> t -> string list -> (int * float) list
+(** Search with pre-normalized terms. *)
+
+val score : t -> node:int -> terms:string list -> float
+(** Text relevance of one indexed node to a term bag (0.0 for nodes that
+    are not indexed).  Lets time-contextual search score candidate pages
+    that come from the temporal neighborhood rather than from the top of
+    the text ranking. *)
+
+val idf : t -> string -> float
+(** Corpus rarity of a term within the user's own history — used to pick
+    distinctive personalization terms. *)
+
+val indexed_count : t -> int

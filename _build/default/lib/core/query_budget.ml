@@ -1,0 +1,26 @@
+type t = { deadline_ms : float option; node_budget : int option }
+
+let unlimited = { deadline_ms = None; node_budget = None }
+let paper_default = { deadline_ms = Some 200.0; node_budget = Some 50_000 }
+let deadline ms = { deadline_ms = Some ms; node_budget = None }
+
+type running = { budget : t; started_ns : int64; mutable nodes_used : int }
+
+let start budget = { budget; started_ns = Provkit_util.Timing.now_ns (); nodes_used = 0 }
+
+let elapsed_ms r =
+  Int64.to_float (Int64.sub (Provkit_util.Timing.now_ns ()) r.started_ns) /. 1e6
+
+let out_of_time r =
+  match r.budget.deadline_ms with None -> false | Some d -> elapsed_ms r > d
+
+let consume_nodes r n = r.nodes_used <- r.nodes_used + n
+
+let remaining_nodes r =
+  match r.budget.node_budget with
+  | None -> None
+  | Some cap -> Some (max 0 (cap - r.nodes_used))
+
+let exhausted r = out_of_time r || remaining_nodes r = Some 0
+
+let was_truncated r traversal_truncated = traversal_truncated || exhausted r

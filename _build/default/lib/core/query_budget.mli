@@ -1,0 +1,36 @@
+(** Query budgets: the mechanism behind §4's "complete in less than
+    200 ms in the majority of cases and can be bound to that time in the
+    remaining cases."
+
+    A budget couples a wall-clock deadline with a node-expansion cap.
+    Queries check [out_of_time] between phases and pass
+    [remaining_nodes] into graph traversals; results report whether they
+    were truncated. *)
+
+type t = { deadline_ms : float option; node_budget : int option }
+
+val unlimited : t
+
+val paper_default : t
+(** 200 ms deadline and a 50,000-node expansion cap. *)
+
+val deadline : float -> t
+(** Deadline only. *)
+
+type running
+
+val start : t -> running
+val elapsed_ms : running -> float
+val out_of_time : running -> bool
+
+val consume_nodes : running -> int -> unit
+(** Charge node expansions against the budget. *)
+
+val remaining_nodes : running -> int option
+(** [None] when unbounded; [Some 0] when exhausted. *)
+
+val exhausted : running -> bool
+(** Deadline passed or node budget spent. *)
+
+val was_truncated : running -> bool -> bool
+(** Combine a traversal's truncation flag with budget exhaustion. *)

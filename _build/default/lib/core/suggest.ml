@@ -1,0 +1,88 @@
+module Digraph = Provgraph.Digraph
+module Neighborhood = Provgraph.Neighborhood
+
+type config = {
+  frecency_weight : float;
+  context_weight : float;
+  max_hops : int;
+  decay : float;
+}
+
+let default_config =
+  { frecency_weight = 1.0; context_weight = 4.0; max_hops = 2; decay = 0.5 }
+
+type suggestion = {
+  page : int;
+  url : string;
+  title : string;
+  score : float;
+  base_score : float;
+  context_score : float;
+}
+
+let matching_pages store ~typed =
+  let needle = String.lowercase_ascii typed in
+  Digraph.fold_nodes (Prov_store.graph store) ~init:[] ~f:(fun acc id n ->
+      match n.Prov_node.kind with
+      | Prov_node.Page { url; title }
+        when (Provkit_util.Strutil.contains_substring ~needle (String.lowercase_ascii url)
+             || Provkit_util.Strutil.contains_substring ~needle (String.lowercase_ascii title))
+             && not (Prov_store.page_hidden store id) -> (id, url, title) :: acc
+      | _ -> acc)
+
+let suggest ?(config = default_config) ?(limit = 6) ?(context = []) store typed =
+  if String.trim typed = "" then []
+  else begin
+    let candidates = matching_pages store ~typed in
+    (* Context proximity: decayed expansion from the context nodes.  The
+       candidates are few, but the expansion is shared, so do it once. *)
+    let context_mass =
+      match context with
+      | [] -> Hashtbl.create 1
+      | _ ->
+        let seeds = List.map (fun node -> (node, 1.0)) context in
+        let nconfig =
+          {
+            Neighborhood.default_config with
+            Neighborhood.max_hops = config.max_hops;
+            decay = config.decay;
+          }
+        in
+        (* Never follow Same_time edges for suggestions: the context IS
+           the present, temporal neighbors of the past add noise. *)
+        let follow ~src:_ ~dst:_ (e : Prov_edge.t) =
+          Prov_edge.is_causal e.Prov_edge.kind
+        in
+        fst (Neighborhood.expand ~config:nconfig ~follow (Prov_store.graph store) ~seeds)
+    in
+    let context_of page =
+      (* Mass may have landed on the page node or on its visit instances. *)
+      let own = Option.value ~default:0.0 (Hashtbl.find_opt context_mass page) in
+      List.fold_left
+        (fun acc v -> acc +. Option.value ~default:0.0 (Hashtbl.find_opt context_mass v))
+        own
+        (Prov_store.visits_of_page store page)
+    in
+    let scored =
+      List.map
+        (fun (page, url, title) ->
+          let base = log (1.0 +. float_of_int (Prov_store.page_visit_count store page)) in
+          let ctx = context_of page in
+          {
+            page;
+            url;
+            title;
+            base_score = base;
+            context_score = ctx;
+            score = (config.frecency_weight *. base) +. (config.context_weight *. ctx);
+          })
+        candidates
+    in
+    List.filteri
+      (fun i _ -> i < limit)
+      (List.sort
+         (fun a b ->
+           let c = Float.compare b.score a.score in
+           if c <> 0 then c else Int.compare a.page b.page)
+         scored)
+  end

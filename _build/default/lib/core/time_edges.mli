@@ -1,0 +1,24 @@
+(** Deriving time relationships from open/close stamps (§3.2).
+
+    The paper's storage position is that the "simple addition of a
+    corresponding close to each page visit enables queries on time
+    relationships" — so the persistent schema stores only the two
+    timestamps, and [Same_time] edges are session data: materialized by
+    the capture layer for fast expansion, skipped by {!Prov_schema}, and
+    re-derivable here after a load. *)
+
+val displayed_visit : Prov_node.t -> bool
+(** Visits that actually occupy a tab (not embeds, not download
+    fetches). *)
+
+val rebuild_time_index : Prov_store.t -> Time_index.t
+(** Reconstruct the interval index from visit nodes' open/close
+    stamps. *)
+
+val derive : ?fanout:int -> Prov_store.t -> int
+(** Sweep visits in open order and add [Same_time] edges from each
+    already-open displayed visit in another tab to the newly opened one
+    (most recent first, at most [fanout] per opening, default 4) —
+    the same rule the capture layer applies online.  Returns the number
+    of edges added.  Call only on stores without existing [Same_time]
+    edges (e.g. fresh loads); otherwise edges duplicate. *)

@@ -1,0 +1,73 @@
+type t = {
+  intervals : (int, int * int option) Hashtbl.t;
+  mutable sorted : (int * int * int option) array option;
+      (* (opened, node, closed) sorted by opened; invalidated on writes *)
+}
+
+let create () = { intervals = Hashtbl.create 1024; sorted = None }
+
+let add t ~node ~opened =
+  Hashtbl.replace t.intervals node (opened, None);
+  t.sorted <- None
+
+let close t ~node ~closed =
+  match Hashtbl.find_opt t.intervals node with
+  | None -> ()
+  | Some (opened, _) ->
+    Hashtbl.replace t.intervals node (opened, Some (max opened closed));
+    t.sorted <- None
+
+let interval t node = Hashtbl.find_opt t.intervals node
+let size t = Hashtbl.length t.intervals
+
+let sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr =
+      Array.of_list
+        (Hashtbl.fold (fun node (o, c) acc -> (o, node, c) :: acc) t.intervals [])
+    in
+    Array.sort compare arr;
+    t.sorted <- Some arr;
+    arr
+
+let intersects (o, c) ~start ~stop =
+  o <= stop && match c with None -> true | Some c -> c >= start
+
+let in_window t ~start ~stop =
+  let arr = sorted t in
+  (* Entries are sorted by open time; anything opening after [stop]
+     cannot intersect, so stop scanning there. *)
+  let hits = ref [] in
+  (try
+     Array.iter
+       (fun (o, node, c) ->
+         if o > stop then raise Exit
+         else if intersects (o, c) ~start ~stop then hits := node :: !hits)
+       arr
+   with Exit -> ());
+  List.sort Int.compare !hits
+
+let currently_open t ~at = in_window t ~start:at ~stop:at
+
+let co_open t ~node =
+  match interval t node with
+  | None -> []
+  | Some (o, c) ->
+    let stop = match c with None -> max_int | Some c -> c in
+    List.filter (fun other -> other <> node) (in_window t ~start:o ~stop)
+
+let overlap t a b =
+  match (interval t a, interval t b) with
+  | Some (oa, ca), Some (ob, cb) ->
+    let stop_a = match ca with None -> max_int | Some c -> c in
+    let stop_b = match cb with None -> max_int | Some c -> c in
+    oa <= stop_b && ob <= stop_a
+  | _ -> false
+
+let direction t a b =
+  match (interval t a, interval t b) with
+  | Some (oa, _), Some (ob, _) ->
+    if oa <= ob then Some (a, b) else Some (b, a)
+  | _ -> None

@@ -1,0 +1,37 @@
+(** Open/close intervals for visits (§3.2).
+
+    The paper notes Firefox timestamps page visits but never records a
+    close, so "from the perspective of Firefox history, every page is
+    always open."  The capture layer feeds both endpoints here, enabling
+    the co-open and time-window queries behind time-contextual search. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> node:int -> opened:int -> unit
+(** Register a visit node's open time.  Re-adding replaces. *)
+
+val close : t -> node:int -> closed:int -> unit
+(** Unknown nodes are ignored.  [closed] earlier than the open time is
+    clamped up to it. *)
+
+val interval : t -> int -> (int * int option) option
+(** [(opened, closed)] for a node. *)
+
+val size : t -> int
+
+val currently_open : t -> at:int -> int list
+(** Nodes whose interval contains [at] (unclosed intervals extend to
+    infinity), ascending node id. *)
+
+val co_open : t -> node:int -> int list
+(** Nodes whose interval overlaps the given node's, excluding itself. *)
+
+val in_window : t -> start:int -> stop:int -> int list
+(** Nodes whose interval intersects \[start, stop\]. *)
+
+val overlap : t -> int -> int -> bool
+val direction : t -> int -> int -> (int * int) option
+(** Orient a co-open pair by the paper's rule — first opened points to
+    later — returning [(src, dst)]; [None] if either node is unknown. *)

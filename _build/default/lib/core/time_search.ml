@@ -1,0 +1,182 @@
+type config = {
+  candidate_limit : int;
+  context_limit : int;
+  proximity_tau : float;
+  co_open_bonus : float;
+}
+
+let default_config =
+  { candidate_limit = 30; context_limit = 20; proximity_tau = 600.0; co_open_bonus = 4.0 }
+
+type result = { page : int; score : float; text_score : float; best_gap : int option }
+
+type response = { results : result list; truncated : bool; elapsed_ms : float }
+
+let page_of_hit store node =
+  match Prov_store.node_opt store node with
+  | None -> None
+  | Some n -> begin
+    match n.Prov_node.kind with
+    | Prov_node.Page _ -> Some node
+    | Prov_node.Bookmark { url; _ } -> Prov_store.page_of_url store url
+    | _ -> None
+  end
+
+(* Visits reachable from a context hit: a page's instances, or the SERP
+   visits a search-term node produced. *)
+let context_visits store node =
+  match Prov_store.node_opt store node with
+  | None -> []
+  | Some n -> begin
+    match n.Prov_node.kind with
+    | Prov_node.Page _ -> Prov_store.visits_of_page store node
+    | Prov_node.Search_term _ ->
+      List.filter_map
+        (fun (dst, (e : Prov_edge.t)) ->
+          if e.Prov_edge.kind = Prov_edge.Search_query then Some dst else None)
+        (Provgraph.Digraph.out_edges (Prov_store.graph store) node)
+    | Prov_node.Bookmark { url; _ } -> begin
+      match Prov_store.page_of_url store url with
+      | Some page -> Prov_store.visits_of_page store page
+      | None -> []
+    end
+    | _ -> []
+  end
+
+let interval_gap (o1, c1) (o2, c2) =
+  let c1 = Option.value ~default:max_int c1 and c2 = Option.value ~default:max_int c2 in
+  if o1 <= c2 && o2 <= c1 then 0
+  else if o2 > c1 then o2 - c1
+  else o1 - c2
+
+let proximity config gap =
+  if gap = 0 then config.co_open_bonus
+  else exp (-.float_of_int gap /. config.proximity_tau)
+
+let rank ?(limit = 10) results =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Float.compare b.score a.score in
+        if c <> 0 then c else Int.compare a.page b.page)
+      results
+  in
+  List.filteri (fun i _ -> i < limit) sorted
+
+let search ?(config = default_config) ?(budget = Query_budget.unlimited) ?(limit = 10)
+    index time_index ~query ~context =
+  let running = Query_budget.start budget in
+  let store = Prov_text_index.store index in
+  let query_terms = Textindex.Tokenizer.terms query in
+  (* Candidate pages come from two directions: the top text hits for the
+     primary query, and — crucially — every page visited in the temporal
+     neighborhood of the context (the page the user half-remembers need
+     not be a top-ranked text hit; being open next to the plane-ticket
+     search is what identifies it). *)
+  let primary = Hashtbl.create 64 in
+  let consider page =
+    if not (Hashtbl.mem primary page) then begin
+      let s = Prov_text_index.score index ~node:page ~terms:query_terms in
+      if s > 0.0 then Hashtbl.replace primary page s
+    end
+  in
+  List.iter
+    (fun (node, _) ->
+      match page_of_hit store node with Some page -> consider page | None -> ())
+    (Prov_text_index.search ~limit:config.candidate_limit index query);
+  (* Context visit intervals, best text hits first, capped so pathological
+     contexts ("the" matching everything) stay bounded. *)
+  let context_hits = Prov_text_index.search ~limit:config.context_limit index context in
+  let context_intervals =
+    List.filteri
+      (fun i _ -> i < 4 * config.context_limit)
+      (List.concat_map
+         (fun (node, _) ->
+           List.filter_map
+             (fun v -> Time_index.interval time_index v)
+             (context_visits store node))
+         context_hits)
+  in
+  (* Temporal-neighborhood candidates. *)
+  let reach = int_of_float (3.0 *. config.proximity_tau) in
+  List.iter
+    (fun (opened, closed) ->
+      let stop = Option.value ~default:opened closed in
+      List.iter
+        (fun visit ->
+          match Prov_store.page_of_visit store visit with
+          | Some page -> consider page
+          | None -> ())
+        (Time_index.in_window time_index ~start:(opened - reach) ~stop:(stop + reach)))
+    context_intervals;
+  let truncated = Query_budget.out_of_time running in
+  let results =
+    Hashtbl.fold
+      (fun page text_score acc ->
+        let own_intervals =
+          List.filter_map
+            (fun v -> Time_index.interval time_index v)
+            (Prov_store.visits_of_page store page)
+        in
+        let best =
+          List.fold_left
+            (fun best own ->
+              List.fold_left
+                (fun best ctx ->
+                  let gap = interval_gap own ctx in
+                  match best with
+                  | Some b when b <= gap -> Some b
+                  | _ -> Some gap)
+                best context_intervals)
+            None own_intervals
+        in
+        match best with
+        | None -> acc
+        | Some gap ->
+          {
+            page;
+            score = text_score *. proximity config gap;
+            text_score;
+            best_gap = Some gap;
+          }
+          :: acc)
+      primary []
+  in
+  {
+    results = rank ~limit results;
+    truncated;
+    elapsed_ms = Query_budget.elapsed_ms running;
+  }
+
+let search_window ?(budget = Query_budget.unlimited) ?(limit = 10) index time_index ~query
+    ~start ~stop =
+  let running = Query_budget.start budget in
+  let store = Prov_text_index.store index in
+  let in_window = Time_index.in_window time_index ~start ~stop in
+  let window_set = Hashtbl.create (List.length in_window) in
+  List.iter (fun v -> Hashtbl.replace window_set v ()) in_window;
+  let results =
+    List.filter_map
+      (fun (node, text_score) ->
+        match page_of_hit store node with
+        | None -> None
+        | Some page ->
+          let visits = Prov_store.visits_of_page store page in
+          if List.exists (Hashtbl.mem window_set) visits then
+            Some { page; score = text_score; text_score; best_gap = Some 0 }
+          else None)
+      (Prov_text_index.search ~limit:(limit * 5) index query)
+  in
+  (* Deduplicate pages, keeping the best score. *)
+  let dedup = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt dedup r.page with
+      | Some prev when prev.score >= r.score -> ()
+      | _ -> Hashtbl.replace dedup r.page r)
+    results;
+  {
+    results = rank ~limit (Hashtbl.fold (fun _ r acc -> r :: acc) dedup []);
+    truncated = Query_budget.out_of_time running;
+    elapsed_ms = Query_budget.elapsed_ms running;
+  }

@@ -1,0 +1,1 @@
+lib/graph/cycle.ml: Digraph Hashtbl Int List Set Stack Traversal

@@ -1,0 +1,1 @@
+lib/graph/hits.ml: Digraph Float Hashtbl Int List Option

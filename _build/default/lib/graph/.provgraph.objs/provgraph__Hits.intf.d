@@ -1,0 +1,1 @@
+lib/graph/hits.mli: Digraph Hashtbl

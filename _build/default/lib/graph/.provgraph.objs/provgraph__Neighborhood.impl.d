@@ -1,0 +1,1 @@
+lib/graph/neighborhood.ml: Digraph Float Hashtbl Int List Option Queue Traversal

@@ -1,0 +1,1 @@
+lib/graph/neighborhood.mli: Digraph Hashtbl Traversal

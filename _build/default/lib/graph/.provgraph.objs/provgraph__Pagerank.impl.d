@@ -1,0 +1,1 @@
+lib/graph/pagerank.ml: Digraph Float Hashtbl Int List Option

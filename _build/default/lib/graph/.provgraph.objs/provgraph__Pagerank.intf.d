@@ -1,0 +1,1 @@
+lib/graph/pagerank.mli: Digraph Hashtbl

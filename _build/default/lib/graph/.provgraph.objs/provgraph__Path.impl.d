@@ -1,0 +1,1 @@
+lib/graph/path.ml: Digraph Hashtbl Int List Option Queue Traversal

@@ -1,0 +1,98 @@
+(* Iterative three-color DFS; recursion would overflow on 100k-node
+   histories. *)
+let find_cycle g =
+  let color = Hashtbl.create 64 in
+  (* 1 = on stack (gray), 2 = done (black) *)
+  let cycle = ref None in
+  let parent = Hashtbl.create 64 in
+  let rec process (stack : [ `Enter of int * int option | `Exit of int ] list) =
+    match stack with
+    | [] -> ()
+    | _ when !cycle <> None -> ()
+    | `Exit id :: rest ->
+      Hashtbl.replace color id 2;
+      process rest
+    | `Enter (id, from) :: rest -> begin
+      match Hashtbl.find_opt color id with
+      | Some 1 ->
+        (* Gray hit: reconstruct the cycle from [from] back to [id]. *)
+        let rec build acc v = if v = id then v :: acc else build (v :: acc) (Hashtbl.find parent v) in
+        let witness = match from with None -> [ id ] | Some f -> build [] f in
+        cycle := Some witness;
+        ()
+      | Some _ -> process rest
+      | None ->
+        Hashtbl.replace color id 1;
+        (match from with None -> () | Some f -> Hashtbl.replace parent id f);
+        let children =
+          List.map (fun next -> `Enter (next, Some id)) (Digraph.succ g id)
+        in
+        process (children @ (`Exit id :: rest))
+    end
+  in
+  List.iter
+    (fun id -> if not (Hashtbl.mem color id) then process [ `Enter (id, None) ])
+    (Digraph.nodes g);
+  !cycle
+
+let has_cycle g = find_cycle g <> None
+
+let topological_sort g =
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace indeg id (Digraph.in_degree g id)) (Digraph.nodes g);
+  (* Min-heap behaviour via a sorted module; history graphs are small
+     enough that a Set works well and keeps determinism trivial. *)
+  let module Iset = Set.Make (Int) in
+  let ready =
+    List.fold_left
+      (fun acc id -> if Hashtbl.find indeg id = 0 then Iset.add id acc else acc)
+      Iset.empty (Digraph.nodes g)
+  in
+  let rec drain ready acc count =
+    match Iset.min_elt_opt ready with
+    | None -> (List.rev acc, count)
+    | Some id ->
+      let ready = Iset.remove id ready in
+      let ready =
+        List.fold_left
+          (fun ready next ->
+            (* Multi-edges decrement once per edge. *)
+            let dec =
+              List.length (List.filter (fun (d, _) -> d = next) (Digraph.out_edges g id))
+            in
+            let remaining = Hashtbl.find indeg next - dec in
+            Hashtbl.replace indeg next remaining;
+            if remaining = 0 then Iset.add next ready else ready)
+          ready (Digraph.succ g id)
+      in
+      drain ready (id :: acc) (count + 1)
+  in
+  let order, count = drain ready [] 0 in
+  if count = Digraph.node_count g then Some order else None
+
+(* Kosaraju with iterative DFS passes; safe on deep navigation chains. *)
+let strongly_connected_components g =
+  let postorder = Traversal.dfs_postorder g ~roots:(Digraph.nodes g) in
+  let assigned = Hashtbl.create 64 in
+  let components = ref [] in
+  let collect root =
+    (* Iterative DFS over in-edges (the transpose). *)
+    let members = ref [] in
+    let stack = Stack.create () in
+    Stack.push root stack;
+    while not (Stack.is_empty stack) do
+      let v = Stack.pop stack in
+      if not (Hashtbl.mem assigned v) then begin
+        Hashtbl.replace assigned v ();
+        members := v :: !members;
+        List.iter
+          (fun w -> if not (Hashtbl.mem assigned w) then Stack.push w stack)
+          (Digraph.pred g v)
+      end
+    done;
+    List.sort Int.compare !members
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem assigned v) then components := collect v :: !components)
+    (List.rev postorder);
+  List.rev !components

@@ -1,0 +1,20 @@
+(** Cycle detection and topological ordering.
+
+    Provenance is acyclic by definition (§3.1); these checks verify that
+    the versioning schemes in [Core.Versioning] actually deliver a DAG,
+    and power the property tests. *)
+
+val has_cycle : ('n, 'e) Digraph.t -> bool
+
+val find_cycle : ('n, 'e) Digraph.t -> int list option
+(** Some witness cycle as a node sequence [v0; ...; vk] with an edge
+    vk -> v0, or [None] for a DAG. *)
+
+val topological_sort : ('n, 'e) Digraph.t -> int list option
+(** Kahn's algorithm; [None] when the graph has a cycle.  Deterministic:
+    ties resolved by ascending node id. *)
+
+val strongly_connected_components : ('n, 'e) Digraph.t -> int list list
+(** Tarjan's SCCs; singleton components without self-loops are the
+    trivial ones.  Each component sorted ascending; components in
+    reverse topological order of the condensation. *)

@@ -1,0 +1,80 @@
+type scores = { hub : (int, float) Hashtbl.t; authority : (int, float) Hashtbl.t }
+
+let run ?(iterations = 30) ?(epsilon = 1e-8) ?subset g =
+  let members =
+    match subset with
+    | None -> Digraph.nodes g
+    | Some ids -> List.sort_uniq Int.compare (List.filter (Digraph.mem_node g) ids)
+  in
+  let in_set = Hashtbl.create (List.length members) in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) members;
+  let hub = Hashtbl.create 64 and authority = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace hub id 1.0;
+      Hashtbl.replace authority id 1.0)
+    members;
+  let get tbl id = Option.value ~default:0.0 (Hashtbl.find_opt tbl id) in
+  let normalize tbl =
+    let norm =
+      sqrt (Hashtbl.fold (fun _ v acc -> acc +. (v *. v)) tbl 0.0)
+    in
+    if norm > 0.0 then
+      Hashtbl.iter (fun id v -> Hashtbl.replace tbl id (v /. norm)) (Hashtbl.copy tbl)
+  in
+  let step () =
+    (* authority(v) = sum of hub(u) over in-neighbors u in the subset *)
+    let delta = ref 0.0 in
+    let new_auth =
+      List.map
+        (fun v ->
+          let s =
+            List.fold_left
+              (fun acc (u, _) -> if Hashtbl.mem in_set u then acc +. get hub u else acc)
+              0.0 (Digraph.in_edges g v)
+          in
+          (v, s))
+        members
+    in
+    List.iter (fun (v, s) -> Hashtbl.replace authority v s) new_auth;
+    normalize authority;
+    let new_hub =
+      List.map
+        (fun v ->
+          let s =
+            List.fold_left
+              (fun acc (w, _) ->
+                if Hashtbl.mem in_set w then acc +. get authority w else acc)
+              0.0 (Digraph.out_edges g v)
+          in
+          (v, s))
+        members
+    in
+    List.iter
+      (fun (v, s) ->
+        delta := !delta +. Float.abs (s -. get hub v);
+        Hashtbl.replace hub v s)
+      new_hub;
+    normalize hub;
+    !delta
+  in
+  let rec iterate i =
+    if i < iterations then begin
+      let delta = step () in
+      if delta > epsilon then iterate (i + 1)
+    end
+  in
+  iterate 0;
+  { hub; authority }
+
+let top scores which n =
+  let tbl = match which with `Hub -> scores.hub | `Authority -> scores.authority in
+  let all = Hashtbl.fold (fun id v acc -> (id, v) :: acc) tbl [] in
+  let sorted =
+    List.sort
+      (fun (ia, va) (ib, vb) ->
+        let c = Float.compare vb va in
+        if c <> 0 then c else Int.compare ia ib)
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted

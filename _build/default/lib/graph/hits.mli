@@ -1,0 +1,18 @@
+(** Kleinberg's HITS over a node subset — the style of algorithm the
+    paper cites for contextual history search (§2.1, [Kleinberg 99]). *)
+
+type scores = { hub : (int, float) Hashtbl.t; authority : (int, float) Hashtbl.t }
+
+val run :
+  ?iterations:int ->
+  ?epsilon:float ->
+  ?subset:int list ->
+  ('n, 'e) Digraph.t ->
+  scores
+(** Power iteration ([iterations] default 30) until the L1 change drops
+    below [epsilon] (default 1e-8).  With [subset], only edges between
+    subset members participate — the standard "focused subgraph" setup.
+    Scores are normalized to unit L2 norm. *)
+
+val top : scores -> [ `Hub | `Authority ] -> int -> (int * float) list
+(** Highest-scoring nodes, descending; ties by ascending id. *)

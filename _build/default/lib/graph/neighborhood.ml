@@ -1,0 +1,101 @@
+type config = {
+  decay : float;
+  max_hops : int;
+  direction : Traversal.direction;
+  edge_weight : float;
+  node_budget : int option;
+  degree_normalize : bool;
+}
+
+let default_config =
+  {
+    decay = 0.5;
+    max_hops = 2;
+    direction = Traversal.Both;
+    edge_weight = 1.0;
+    node_budget = None;
+    degree_normalize = false;
+  }
+
+let neighbors direction g id =
+  match (direction : Traversal.direction) with
+  | Traversal.Forward -> Digraph.out_edges g id
+  | Traversal.Backward -> Digraph.in_edges g id
+  | Traversal.Both -> Digraph.out_edges g id @ Digraph.in_edges g id
+
+let expand ?(config = default_config) ?follow g ~seeds =
+  let scores = Hashtbl.create 128 in
+  let bump id v =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt scores id) in
+    Hashtbl.replace scores id (prev +. v)
+  in
+  let keep src dst e = match follow with None -> true | Some f -> f ~src ~dst e in
+  (* Per-seed BFS keeps "shortest hop from this seed" semantics additive
+     across seeds.  Seeds are few (top-k text hits), so this stays cheap. *)
+  let truncated = ref false in
+  let expansions = ref 0 in
+  let budget_ok () =
+    match config.node_budget with
+    | None -> true
+    | Some b -> if !expansions >= b then (truncated := true; false) else true
+  in
+  List.iter
+    (fun (seed, seed_score) ->
+      if Digraph.mem_node g seed && seed_score > 0.0 then begin
+        bump seed seed_score;
+        let depth = Hashtbl.create 32 in
+        (* In flow mode [received] is the mass that reached each node
+           along its BFS discovery; it is what the node splits among its
+           own neighbors. *)
+        let received = Hashtbl.create 32 in
+        Hashtbl.replace depth seed 0;
+        Hashtbl.replace received seed seed_score;
+        let queue = Queue.create () in
+        Queue.push seed queue;
+        let continue = ref true in
+        while !continue && not (Queue.is_empty queue) do
+          if not (budget_ok ()) then continue := false
+          else begin
+            let current = Queue.pop queue in
+            incr expansions;
+            let d = Hashtbl.find depth current in
+            if d < config.max_hops then begin
+              let nbrs =
+                List.filter
+                  (fun (next, e) -> keep current next e)
+                  (neighbors config.direction g current)
+              in
+              let fanout = float_of_int (max 1 (List.length nbrs)) in
+              List.iter
+                (fun (next, _) ->
+                  if not (Hashtbl.mem depth next) then begin
+                    let hop = d + 1 in
+                    Hashtbl.replace depth next hop;
+                    let mass =
+                      if config.degree_normalize then
+                        Hashtbl.find received current *. config.decay
+                        *. config.edge_weight /. fanout
+                      else
+                        seed_score
+                        *. Float.pow config.decay (float_of_int hop)
+                        *. Float.pow config.edge_weight (float_of_int hop)
+                    in
+                    Hashtbl.replace received next mass;
+                    bump next mass;
+                    Queue.push next queue
+                  end)
+                nbrs
+            end
+          end
+        done
+      end)
+    seeds;
+  (scores, !truncated)
+
+let ranked scores =
+  let all = Hashtbl.fold (fun id v acc -> (id, v) :: acc) scores [] in
+  List.sort
+    (fun (ia, va) (ib, vb) ->
+      let c = Float.compare vb va in
+      if c <> 0 then c else Int.compare ia ib)
+    all

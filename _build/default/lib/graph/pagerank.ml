@@ -1,0 +1,72 @@
+let run ?(damping = 0.85) ?(iterations = 50) ?(epsilon = 1e-10) ?personalization g =
+  let nodes = Digraph.nodes g in
+  let n = List.length nodes in
+  if n = 0 then Hashtbl.create 1
+  else begin
+    let restart = Hashtbl.create n in
+    (match personalization with
+    | None ->
+      let u = 1.0 /. float_of_int n in
+      List.iter (fun id -> Hashtbl.replace restart id u) nodes
+    | Some weights ->
+      let valid = List.filter (fun (id, w) -> Digraph.mem_node g id && w > 0.0) weights in
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 valid in
+      if total <= 0.0 then begin
+        let u = 1.0 /. float_of_int n in
+        List.iter (fun id -> Hashtbl.replace restart id u) nodes
+      end
+      else
+        List.iter (fun (id, w) ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt restart id) in
+            Hashtbl.replace restart id (prev +. (w /. total)))
+          valid);
+    let restart_of id = Option.value ~default:0.0 (Hashtbl.find_opt restart id) in
+    let rank = Hashtbl.create n in
+    List.iter (fun id -> Hashtbl.replace rank id (restart_of id)) nodes;
+    let get tbl id = Option.value ~default:0.0 (Hashtbl.find_opt tbl id) in
+    let rec iterate i =
+      if i < iterations then begin
+        let next = Hashtbl.create n in
+        (* Dangling nodes donate their mass to the restart vector. *)
+        let dangling =
+          List.fold_left
+            (fun acc id -> if Digraph.out_degree g id = 0 then acc +. get rank id else acc)
+            0.0 nodes
+        in
+        List.iter
+          (fun id ->
+            let flow =
+              List.fold_left
+                (fun acc (src, _) ->
+                  let deg = Digraph.out_degree g src in
+                  if deg > 0 then acc +. (get rank src /. float_of_int deg) else acc)
+                0.0 (Digraph.in_edges g id)
+            in
+            let r = restart_of id in
+            Hashtbl.replace next id
+              (((1.0 -. damping) *. r) +. (damping *. (flow +. (dangling *. r)))))
+          nodes;
+        let delta =
+          List.fold_left
+            (fun acc id -> acc +. Float.abs (get next id -. get rank id))
+            0.0 nodes
+        in
+        Hashtbl.reset rank;
+        Hashtbl.iter (fun id v -> Hashtbl.replace rank id v) next;
+        if delta > epsilon then iterate (i + 1)
+      end
+    in
+    iterate 0;
+    rank
+  end
+
+let top rank n =
+  let all = Hashtbl.fold (fun id v acc -> (id, v) :: acc) rank [] in
+  let sorted =
+    List.sort
+      (fun (ia, va) (ib, vb) ->
+        let c = Float.compare vb va in
+        if c <> 0 then c else Int.compare ia ib)
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted

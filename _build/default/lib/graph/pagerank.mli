@@ -1,0 +1,17 @@
+(** PageRank with optional personalization — the "interesting graph
+    algorithms browsers do not apply" family (§3); personalized restart
+    vectors model a user's own attention rather than global popularity. *)
+
+val run :
+  ?damping:float ->
+  ?iterations:int ->
+  ?epsilon:float ->
+  ?personalization:(int * float) list ->
+  ('n, 'e) Digraph.t ->
+  (int, float) Hashtbl.t
+(** [damping] defaults to 0.85, [iterations] to 50, [epsilon] (L1
+    convergence) to 1e-10.  [personalization] is a restart distribution
+    (weights are normalized; default uniform).  Dangling mass is
+    redistributed through the restart vector.  Result sums to 1. *)
+
+val top : (int, float) Hashtbl.t -> int -> (int * float) list

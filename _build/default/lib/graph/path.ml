@@ -1,0 +1,83 @@
+let step direction g id =
+  match (direction : Traversal.direction) with
+  | Forward -> Digraph.succ g id
+  | Backward -> Digraph.pred g id
+  | Both -> List.sort_uniq Int.compare (Digraph.succ g id @ Digraph.pred g id)
+
+let shortest_path ?(direction = Traversal.Forward) g ~src ~dst =
+  if not (Digraph.mem_node g src && Digraph.mem_node g dst) then None
+  else if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace parent src src;
+    Queue.push src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let current = Queue.pop queue in
+      List.iter
+        (fun next ->
+          if not (Hashtbl.mem parent next) then begin
+            Hashtbl.replace parent next current;
+            if next = dst then found := true else Queue.push next queue
+          end)
+        (step direction g current)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc id =
+        if id = src then src :: acc else build (id :: acc) (Hashtbl.find parent id)
+      in
+      Some (build [] dst)
+    end
+  end
+
+let distance ?direction g ~src ~dst =
+  Option.map (fun p -> List.length p - 1) (shortest_path ?direction g ~src ~dst)
+
+let first_matching_ancestor ?max_depth ?budget g ~start ~matches =
+  let result = Traversal.ancestors ?max_depth ?budget g start in
+  (* Visits are in BFS order; among a depth tie pick the smallest id. *)
+  let rec scan best_depth best = function
+    | [] -> best
+    | (id, d) :: rest -> begin
+      match best with
+      | Some _ when d > best_depth -> best
+      | _ ->
+        if matches id then begin
+          match best with
+          | Some (bid, _) when bid < id -> scan best_depth best rest
+          | _ -> scan d (Some (id, d)) rest
+        end
+        else scan best_depth best rest
+    end
+  in
+  match scan max_int None result.Traversal.visited with
+  | None -> None
+  | Some (id, _) -> begin
+    match shortest_path ~direction:Traversal.Backward g ~src:start ~dst:id with
+    | None -> None
+    | Some path -> Some (id, path)
+  end
+
+let all_paths ?(max_length = 8) ?(max_paths = 100) g ~src ~dst =
+  if not (Digraph.mem_node g src && Digraph.mem_node g dst) then []
+  else begin
+    let paths = ref [] in
+    let count = ref 0 in
+    let rec explore node trail len =
+      if !count < max_paths then
+        if node = dst then begin
+          paths := List.rev (node :: trail) :: !paths;
+          incr count
+        end
+        else if len < max_length then
+          List.iter
+            (fun next ->
+              if not (List.mem next trail) && next <> node then
+                explore next (node :: trail) (len + 1))
+            (Digraph.succ g node)
+    in
+    explore src [] 0;
+    List.rev !paths
+  end

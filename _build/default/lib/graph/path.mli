@@ -1,0 +1,32 @@
+(** Path queries: shortest paths and first-match ancestor searches —
+    the engine behind "find the first ancestor of this file that the
+    user is likely to recognize" (§2.4). *)
+
+val shortest_path :
+  ?direction:Traversal.direction ->
+  ('n, 'e) Digraph.t ->
+  src:int ->
+  dst:int ->
+  int list option
+(** Node sequence from [src] to [dst] inclusive (unweighted BFS), or
+    [None] when unreachable. *)
+
+val distance :
+  ?direction:Traversal.direction -> ('n, 'e) Digraph.t -> src:int -> dst:int -> int option
+
+val first_matching_ancestor :
+  ?max_depth:int ->
+  ?budget:int ->
+  ('n, 'e) Digraph.t ->
+  start:int ->
+  matches:(int -> bool) ->
+  (int * int list) option
+(** Breadth-first over in-edges from [start] (excluded); the nearest node
+    satisfying [matches], with the path from [start] back to it.  Among
+    equidistant matches the smallest node id wins, deterministically. *)
+
+val all_paths :
+  ?max_length:int -> ?max_paths:int -> ('n, 'e) Digraph.t -> src:int -> dst:int -> int list list
+(** Simple (cycle-free) paths from [src] to [dst], each at most
+    [max_length] edges (default 8), up to [max_paths] (default 100).
+    Used by lineage explanations. *)

@@ -1,0 +1,101 @@
+type direction = Forward | Backward | Both
+
+type 'a outcome = { visited : 'a; truncated : bool }
+
+let neighbors direction g id =
+  match direction with
+  | Forward -> Digraph.out_edges g id
+  | Backward -> Digraph.in_edges g id
+  | Both -> Digraph.out_edges g id @ Digraph.in_edges g id
+
+(* [follow] receives traversal endpoints oriented src=expanded node,
+   dst=candidate, regardless of edge direction. *)
+let bfs ?(direction = Forward) ?max_depth ?budget ?follow g ~roots =
+  let depth = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let order = ref [] in
+  let truncated = ref false in
+  let expansions = ref 0 in
+  let within_budget () =
+    match budget with
+    | None -> true
+    | Some b -> if !expansions >= b then (truncated := true; false) else true
+  in
+  let within_depth d =
+    match max_depth with
+    | None -> true
+    | Some m -> if d >= m then (truncated := true; false) else true
+  in
+  List.iter
+    (fun root ->
+      if Digraph.mem_node g root && not (Hashtbl.mem depth root) then begin
+        Hashtbl.replace depth root 0;
+        Queue.push root queue;
+        order := (root, 0) :: !order
+      end)
+    roots;
+  let keep_edge src dst e =
+    match follow with None -> true | Some f -> f ~src ~dst e
+  in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty queue) do
+    if not (within_budget ()) then continue := false
+    else begin
+      let current = Queue.pop queue in
+      incr expansions;
+      let d = Hashtbl.find depth current in
+      if within_depth d then
+        List.iter
+          (fun (next, e) ->
+            if (not (Hashtbl.mem depth next)) && keep_edge current next e then begin
+              Hashtbl.replace depth next (d + 1);
+              Queue.push next queue;
+              order := (next, d + 1) :: !order
+            end)
+          (neighbors direction g current)
+    end
+  done;
+  { visited = List.rev !order; truncated = !truncated }
+
+let reachable ?direction ?max_depth ?budget ?follow g ~roots =
+  let result = bfs ?direction ?max_depth ?budget ?follow g ~roots in
+  let depth = Hashtbl.create 64 in
+  List.iter (fun (id, d) -> Hashtbl.replace depth id d) result.visited;
+  ({ visited = (); truncated = result.truncated }, depth)
+
+let without_roots roots outcome =
+  let root_set = List.sort_uniq Int.compare roots in
+  {
+    outcome with
+    visited =
+      List.filter (fun (id, _) -> not (List.mem id root_set)) outcome.visited;
+  }
+
+let ancestors ?max_depth ?budget g id =
+  without_roots [ id ] (bfs ~direction:Backward ?max_depth ?budget g ~roots:[ id ])
+
+let descendants ?max_depth ?budget g id =
+  without_roots [ id ] (bfs ~direction:Forward ?max_depth ?budget g ~roots:[ id ])
+
+let dfs_postorder g ~roots =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  (* Explicit stack with an expansion marker for iterative postorder. *)
+  let stack = Stack.create () in
+  List.iter
+    (fun root -> if Digraph.mem_node g root then Stack.push (`Enter root) stack)
+    roots;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Exit id -> order := id :: !order
+    | `Enter id ->
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        Stack.push (`Exit id) stack;
+        List.iter
+          (fun next ->
+            if not (Hashtbl.mem visited next) then Stack.push (`Enter next) stack)
+          (Digraph.succ g id)
+      end
+  done;
+  List.rev !order

@@ -1,0 +1,1 @@
+lib/harness/dataset.ml: Browser Core Provkit_util Webmodel

@@ -1,0 +1,1 @@
+lib/harness/dataset.mli: Browser Core Webmodel

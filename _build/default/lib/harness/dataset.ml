@@ -1,0 +1,44 @@
+module Prng = Provkit_util.Prng
+
+type t = {
+  seed : int;
+  web : Webmodel.Web_graph.t;
+  search_engine : Webmodel.Search_engine.t;
+  engine : Browser.Engine.t;
+  api : Core.Api.t;
+  ff_capture : Core.Capture.t;
+  trace : Browser.User_model.trace;
+}
+
+let build ?(web_config = Webmodel.Web_graph.default_config)
+    ?(user_config = Browser.User_model.default_config) ~seed () =
+  let rng = Prng.create seed in
+  let web_rng = Prng.split rng in
+  let user_rng = Prng.split rng in
+  let web = Webmodel.Web_graph.generate ~config:web_config ~seed:(Prng.int web_rng 1_000_000_000) () in
+  let search_engine = Webmodel.Search_engine.build web in
+  let engine = Browser.Engine.create ~web ~search:search_engine () in
+  (* Captures must subscribe before any browsing happens. *)
+  let api = Core.Api.attach engine in
+  let ff_capture = Core.Capture.attach ~config:Core.Capture.firefox_like engine in
+  let trace = Browser.User_model.run ~config:user_config ~rng:user_rng engine in
+  { seed; web; search_engine; engine; api; ff_capture; trace }
+
+let default ?(seed = 42) () = build ~seed ()
+
+let with_days ?(seed = 42) days =
+  build ~user_config:{ Browser.User_model.default_config with Browser.User_model.days } ~seed ()
+
+let store t = Core.Api.store t.api
+let time_index t = Core.Api.time_index t.api
+let places t = Browser.Engine.places t.engine
+
+let page_node t web_page =
+  let p = Webmodel.Web_graph.page t.web web_page in
+  Core.Prov_store.page_of_url (store t)
+    (Webmodel.Url.to_string p.Webmodel.Page_content.url)
+
+let place_of_web_page t web_page =
+  let p = Webmodel.Web_graph.page t.web web_page in
+  Browser.Places_db.place_by_url (places t)
+    (Webmodel.Url.to_string p.Webmodel.Page_content.url)

@@ -1,0 +1,43 @@
+(** Dataset assembly: synthetic web + simulated search engine + browser
+    engine + provenance capture + simulated user, wired in the right
+    order and driven for a configurable number of days.
+
+    Two captures observe the same event stream: the full provenance
+    capture (the paper's proposal) and a Firefox-fidelity capture (what
+    a 2009 browser actually keeps), so ablation experiments compare
+    stores built from identical browsing. *)
+
+type t = {
+  seed : int;
+  web : Webmodel.Web_graph.t;
+  search_engine : Webmodel.Search_engine.t;
+  engine : Browser.Engine.t;
+  api : Core.Api.t;  (** full-capture provenance API *)
+  ff_capture : Core.Capture.t;  (** Firefox-fidelity capture of the same events *)
+  trace : Browser.User_model.trace;
+}
+
+val build :
+  ?web_config:Webmodel.Web_graph.config ->
+  ?user_config:Browser.User_model.config ->
+  seed:int ->
+  unit ->
+  t
+(** Generate the web, attach captures, run the user model. *)
+
+val default : ?seed:int -> unit -> t
+(** The standard 79-day dataset ([seed] defaults to 42). *)
+
+val with_days : ?seed:int -> int -> t
+(** The standard dataset scaled to a different number of days (for the
+    E8 sweep). *)
+
+val store : t -> Core.Prov_store.t
+val time_index : t -> Core.Time_index.t
+val places : t -> Browser.Places_db.t
+
+val page_node : t -> int -> int option
+(** Provenance page node for a synthetic web page id. *)
+
+val place_of_web_page : t -> int -> Browser.Places_db.place option
+(** Places row for a synthetic web page id. *)

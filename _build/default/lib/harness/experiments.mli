@@ -1,0 +1,64 @@
+(** The experiment suite: one function per paper claim (see DESIGN.md's
+    experiment index).  Each returns a {!Report.t}; [run_all] regenerates
+    everything EXPERIMENTS.md records. *)
+
+val e1_history_scale : Dataset.t -> Report.t
+(** §3: "more than 25,000 nodes over the past 79 days". *)
+
+val e2_storage_overhead : Dataset.t -> Report.t
+(** §4: 39.5 % overhead over Places, < 5 MB absolute. *)
+
+val e3_query_latency : ?samples:int -> Dataset.t -> Report.t
+(** §4: all four use-case queries < 200 ms in the majority of cases,
+    boundable in the rest. *)
+
+val e4_contextual_quality : ?max_episodes:int -> Dataset.t -> Report.t
+(** §2.1: contextual history search retrieves pages reached *via* a
+    search term (rosebud -> Citizen Kane), textual baseline does not. *)
+
+val e5_personalization : ?max_episodes:int -> Dataset.t -> Report.t
+(** §2.2: provenance-derived query expansion disambiguates web search
+    toward the user's sense of an ambiguous term. *)
+
+val e6_time_context : Dataset.t -> Report.t
+(** §2.3: "wine associated with plane tickets" retrieves the specific
+    page better than a plain wine search. *)
+
+val e7_download_lineage : ?max_episodes:int -> Dataset.t -> Report.t
+(** §2.4: first recognizable ancestor and downloads-descending-from. *)
+
+val e8_scaling : ?days_list:int list -> seed:int -> unit -> Report.t
+(** Implied by §4's local-computation feasibility: latency and size
+    across history sizes. *)
+
+val e9_versioning : Dataset.t -> Report.t
+(** §3.1 ablation: visit-instance node versioning vs page nodes with
+    time-stamped edges. *)
+
+val e10_redirect_ablation : ?max_episodes:int -> Dataset.t -> Report.t
+(** §3.2 ablation: include/exclude redirect+embed and time edges in
+    contextual expansion. *)
+
+val e11_capture_ablation : ?max_episodes:int -> Dataset.t -> Report.t
+(** §3.2/§3.3 ablation: full provenance capture vs Firefox-fidelity
+    capture of the same browsing. *)
+
+val e12_algorithm_ablation : ?max_episodes:int -> Dataset.t -> Report.t
+(** §4 future work: decayed expansion vs personalized PageRank vs HITS
+    on the focused subgraph, quality and latency. *)
+
+val e13_history_tree : Dataset.t -> Report.t
+(** §3.1: versioned navigation history is a forest; the parent-pointer
+    encoding vs the relational edge table. *)
+
+val e14_incremental_persistence : Dataset.t -> Report.t
+(** The append-only provenance journal vs full snapshot rewrites,
+    including crash-truncation recovery. *)
+
+val e15_heterogeneous_joins : Dataset.t -> Report.t
+(** §3.3: the same questions as multi-table Places joins and as
+    one-graph queries — answered counts and latency. *)
+
+val run_all : ?quick:bool -> seed:int -> unit -> Report.t list
+(** Build the standard dataset and run every experiment.  [quick]
+    shrinks sample counts and the scaling sweep (used by tests). *)

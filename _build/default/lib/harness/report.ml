@@ -1,0 +1,25 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let print t =
+  Printf.printf "\n=== %s: %s ===\n" t.id t.title;
+  Printf.printf "paper: %s\n\n" t.paper_claim;
+  Provkit_util.Table_fmt.print ~header:t.header t.rows;
+  List.iter (fun note -> Printf.printf "note: %s\n" note) t.notes;
+  print_newline ()
+
+let fmt_ms ms = Printf.sprintf "%.2f ms" ms
+
+let fmt_bytes b =
+  if b >= 1_048_576 then Printf.sprintf "%.2f MB" (float_of_int b /. 1_048_576.0)
+  else if b >= 1024 then Printf.sprintf "%.1f KB" (float_of_int b /. 1024.0)
+  else Printf.sprintf "%d B" b
+
+let fmt_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+let fmt_f f = Printf.sprintf "%.3f" f

@@ -1,0 +1,23 @@
+(** Experiment reports: a paper claim, a measured table, and notes. *)
+
+type t = {
+  id : string;  (** e.g. "E2-storage-overhead" *)
+  title : string;
+  paper_claim : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : t -> unit
+(** Render to stdout in the format EXPERIMENTS.md quotes. *)
+
+val fmt_ms : float -> string
+val fmt_bytes : int -> string
+(** "1.23 MB" style. *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.395] is ["39.5%"]. *)
+
+val fmt_f : float -> string
+(** Three decimals. *)

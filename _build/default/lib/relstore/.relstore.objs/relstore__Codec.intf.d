@@ -1,0 +1,1 @@
+lib/relstore/codec.mli: Buffer Value

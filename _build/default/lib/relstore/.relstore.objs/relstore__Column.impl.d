@@ -1,0 +1,1 @@
+lib/relstore/column.ml: Format Value

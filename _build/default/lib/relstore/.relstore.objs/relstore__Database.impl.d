@@ -1,0 +1,1 @@
+lib/relstore/database.ml: Buffer Codec Errors Format Fun Hashtbl List Schema String Table Varint

@@ -1,0 +1,1 @@
+lib/relstore/database.mli: Format Schema Table

@@ -1,0 +1,1 @@
+lib/relstore/errors.ml: Format

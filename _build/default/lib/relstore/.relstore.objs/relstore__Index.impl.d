@@ -1,0 +1,1 @@
+lib/relstore/index.ml: Array Errors Int List Map Option Schema Seq Set Value Varint

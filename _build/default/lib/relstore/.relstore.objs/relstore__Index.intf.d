@@ -1,0 +1,1 @@
+lib/relstore/index.mli: Row Schema Value

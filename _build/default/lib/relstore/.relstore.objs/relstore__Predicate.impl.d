@@ -1,0 +1,1 @@
+lib/relstore/predicate.ml: Format List Provkit_util Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relstore/predicate.mli: Format Row Schema Value

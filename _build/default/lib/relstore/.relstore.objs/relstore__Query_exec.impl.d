@@ -1,0 +1,1 @@
+lib/relstore/query_exec.ml: Hashtbl Index Int List Option Predicate Row Table Value

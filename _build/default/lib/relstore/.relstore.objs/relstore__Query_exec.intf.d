@@ -1,0 +1,1 @@
+lib/relstore/query_exec.mli: Predicate Row Table Value

@@ -1,0 +1,1 @@
+lib/relstore/row.ml: Array Column Format Hashtbl List Schema Value

@@ -1,0 +1,1 @@
+lib/relstore/row.mli: Format Schema Value

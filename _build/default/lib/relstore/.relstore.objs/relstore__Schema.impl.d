@@ -1,0 +1,1 @@
+lib/relstore/schema.ml: Array Buffer Codec Column Errors Format Hashtbl List String Value Varint

@@ -1,0 +1,1 @@
+lib/relstore/schema.mli: Buffer Column Format Value

@@ -1,0 +1,1 @@
+lib/relstore/sql.ml: Array Buffer Column Database Format List Predicate Printf Provkit_util Query_exec Row Schema String Table Value

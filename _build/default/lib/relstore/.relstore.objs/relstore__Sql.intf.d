@@ -1,0 +1,1 @@
+lib/relstore/sql.mli: Database Predicate Query_exec Value

@@ -1,0 +1,1 @@
+lib/relstore/table.ml: Array Buffer Codec Errors Hashtbl Index Int List Row Schema String Value Varint

@@ -1,0 +1,1 @@
+lib/relstore/table.mli: Buffer Index Row Schema Value

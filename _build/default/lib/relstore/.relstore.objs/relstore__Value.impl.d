@@ -1,0 +1,1 @@
+lib/relstore/value.ml: Bool Bytes Errors Float Format Int String Varint

@@ -1,0 +1,1 @@
+lib/relstore/value.mli: Format

@@ -1,0 +1,1 @@
+lib/relstore/varint.ml: Buffer Char Errors String

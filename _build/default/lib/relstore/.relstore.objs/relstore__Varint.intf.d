@@ -1,0 +1,1 @@
+lib/relstore/varint.mli: Buffer

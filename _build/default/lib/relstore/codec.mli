@@ -1,0 +1,21 @@
+(** Binary serialization for values, rows and strings.
+
+    The format is deterministic: the same logical database always encodes
+    to the same bytes, which makes storage-overhead measurements exact
+    and reproducible. *)
+
+val write_value : Buffer.t -> Value.t -> unit
+val read_value : string -> int ref -> Value.t
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed. *)
+
+val read_string : string -> int ref -> string
+
+val write_row : Buffer.t -> Value.t array -> unit
+(** Arity-prefixed sequence of values. *)
+
+val read_row : string -> int ref -> Value.t array
+
+val row_size : Value.t array -> int
+(** Exact encoded byte length of {!write_row}'s output. *)

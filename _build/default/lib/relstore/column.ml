@@ -1,0 +1,12 @@
+type t = { name : string; ty : Value.ty; nullable : bool }
+
+let make ?(nullable = false) name ty = { name; ty; nullable }
+
+let accepts t v =
+  match Value.type_of v with
+  | None -> t.nullable
+  | Some ty -> ty = t.ty
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s%s" t.name (Value.ty_name t.ty)
+    (if t.nullable then "" else " NOT NULL")

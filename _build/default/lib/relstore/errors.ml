@@ -1,0 +1,10 @@
+exception Type_mismatch of string
+exception Constraint_violation of string
+exception No_such_table of string
+exception No_such_column of string
+exception No_such_row of int
+exception Corrupt of string
+
+let type_mismatch fmt = Format.kasprintf (fun s -> raise (Type_mismatch s)) fmt
+let constraint_violation fmt = Format.kasprintf (fun s -> raise (Constraint_violation s)) fmt
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt

@@ -1,0 +1,17 @@
+(** Errors raised by the relational storage engine. *)
+
+exception Type_mismatch of string
+(** A value did not match the declared column type. *)
+
+exception Constraint_violation of string
+(** NOT NULL or UNIQUE violated. *)
+
+exception No_such_table of string
+exception No_such_column of string
+exception No_such_row of int
+exception Corrupt of string
+(** Deserialization failed. *)
+
+val type_mismatch : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val constraint_violation : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val corrupt : ('a, Format.formatter, unit, 'b) format4 -> 'a

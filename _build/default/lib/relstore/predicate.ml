@@ -1,0 +1,87 @@
+type cmp = Lt | Le | Gt | Ge | Ne
+
+type t =
+  | True
+  | Eq of string * Value.t
+  | Cmp of cmp * string * Value.t
+  | Between of string * Value.t * Value.t
+  | Is_null of string
+  | Not_null of string
+  | Like of string * string
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Custom of string * (Schema.t -> Row.t -> bool)
+
+let rec eval t schema row =
+  match t with
+  | True -> true
+  | Eq (col, v) -> Value.equal (Row.get schema row col) v
+  | Cmp (op, col, v) ->
+    let cell = Row.get schema row col in
+    if Value.is_null cell then false
+    else begin
+      let c = Value.compare cell v in
+      match op with
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | Ne -> c <> 0
+    end
+  | Between (col, lo, hi) ->
+    let cell = Row.get schema row col in
+    (not (Value.is_null cell))
+    && Value.compare cell lo >= 0
+    && Value.compare cell hi <= 0
+  | Is_null col -> Value.is_null (Row.get schema row col)
+  | Not_null col -> not (Value.is_null (Row.get schema row col))
+  | Like (col, needle) -> begin
+    match Row.get schema row col with
+    | Value.Text s ->
+      Provkit_util.Strutil.contains_substring
+        ~needle:(String.lowercase_ascii needle)
+        (String.lowercase_ascii s)
+    | _ -> false
+  end
+  | And ps -> List.for_all (fun p -> eval p schema row) ps
+  | Or ps -> List.exists (fun p -> eval p schema row) ps
+  | Not p -> not (eval p schema row)
+  | Custom (_, f) -> f schema row
+
+let rec conjunctive_eqs = function
+  | Eq (col, v) -> [ (col, v) ]
+  | And ps -> List.concat_map conjunctive_eqs ps
+  | _ -> []
+
+let rec conjunctive_range = function
+  | Between (col, lo, hi) -> Some (col, Some lo, Some hi)
+  | Cmp (Le, col, v) -> Some (col, None, Some v)
+  | Cmp (Ge, col, v) -> Some (col, Some v, None)
+  | And ps ->
+    (* First range found wins; merging multiple ranges on the same column
+       is possible but not needed by our workloads. *)
+    List.find_map conjunctive_range ps
+  | _ -> None
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "TRUE"
+  | Eq (c, v) -> Format.fprintf ppf "%s = %a" c Value.pp v
+  | Cmp (op, c, v) ->
+    let sym = match op with Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Ne -> "<>" in
+    Format.fprintf ppf "%s %s %a" c sym Value.pp v
+  | Between (c, lo, hi) ->
+    Format.fprintf ppf "%s BETWEEN %a AND %a" c Value.pp lo Value.pp hi
+  | Is_null c -> Format.fprintf ppf "%s IS NULL" c
+  | Not_null c -> Format.fprintf ppf "%s IS NOT NULL" c
+  | Like (c, s) -> Format.fprintf ppf "%s LIKE %%%s%%" c s
+  | And ps ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ") pp)
+      ps
+  | Or ps ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " OR ") pp)
+      ps
+  | Not p -> Format.fprintf ppf "NOT %a" pp p
+  | Custom (label, _) -> Format.fprintf ppf "<custom:%s>" label

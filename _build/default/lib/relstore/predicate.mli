@@ -1,0 +1,33 @@
+(** Row predicates, represented structurally so the executor can spot
+    index-friendly shapes (top-level conjunctive equalities and ranges). *)
+
+type cmp = Lt | Le | Gt | Ge | Ne
+
+type t =
+  | True
+  | Eq of string * Value.t
+  | Cmp of cmp * string * Value.t
+  | Between of string * Value.t * Value.t  (** inclusive bounds *)
+  | Is_null of string
+  | Not_null of string
+  | Like of string * string
+      (** [Like (col, needle)]: case-insensitive substring match on a TEXT
+          column; NULL never matches. *)
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Custom of string * (Schema.t -> Row.t -> bool)
+      (** Named escape hatch for predicates the algebra cannot express. *)
+
+val eval : t -> Schema.t -> Row.t -> bool
+
+val conjunctive_eqs : t -> (string * Value.t) list
+(** Column=value pairs guaranteed by the predicate (those at the top
+    level of a conjunction), usable for index lookups. *)
+
+val conjunctive_range : t -> (string * Value.t option * Value.t option) option
+(** A single-column inclusive range implied at the top level
+    ([Between], [Cmp] with Le/Ge/Lt/Gt is widened to inclusive bounds
+    only when exact: Lt/Gt return [None]), if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+type order = Asc of string | Desc of string
+
+type plan =
+  | Full_scan
+  | Index_eq of string
+  | Index_range of string
+
+let eq_index table where =
+  let eqs = Predicate.conjunctive_eqs where in
+  let lookup col = List.assoc_opt col eqs in
+  (* Usable when every indexed column is pinned by an equality. *)
+  List.find_opt
+    (fun idx -> List.for_all (fun c -> lookup c <> None) (Index.column_names idx))
+    (Table.indexes table)
+
+let range_index table where =
+  match Predicate.conjunctive_range where with
+  | None -> None
+  | Some (col, lo, hi) -> begin
+    match Table.find_index_on table [ col ] with
+    | None -> None
+    | Some idx -> Some (idx, lo, hi)
+  end
+
+let plan_for table where =
+  match eq_index table where with
+  | Some idx -> Index_eq (Index.name idx)
+  | None -> begin
+    match range_index table where with
+    | Some (idx, _, _) -> Index_range (Index.name idx)
+    | None -> Full_scan
+  end
+
+let candidates table where =
+  match eq_index table where with
+  | Some idx ->
+    let eqs = Predicate.conjunctive_eqs where in
+    let key = List.map (fun c -> List.assoc c eqs) (Index.column_names idx) in
+    List.map (fun rowid -> (rowid, Table.get table rowid)) (Index.find idx key)
+  | None -> begin
+    match range_index table where with
+    | Some (idx, lo, hi) ->
+      let lo = Option.map (fun v -> [ v ]) lo in
+      let hi = Option.map (fun v -> [ v ]) hi in
+      let hits =
+        Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid ->
+            (rowid, Table.get table rowid) :: acc)
+      in
+      List.rev hits
+    | None -> Table.rows table
+  end
+
+let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
+  let rec go = function
+    | [] -> Int.compare ra_id rb_id
+    | spec :: rest ->
+      let col, flip = match spec with Asc c -> (c, 1) | Desc c -> (c, -1) in
+      let c = flip * Value.compare (Row.get schema ra col) (Row.get schema rb col) in
+      if c <> 0 then c else go rest
+  in
+  go order_by
+
+let select ?(where = Predicate.True) ?(order_by = []) ?limit table =
+  let schema = Table.schema table in
+  let hits =
+    List.filter (fun (_, row) -> Predicate.eval where schema row) (candidates table where)
+  in
+  let sorted =
+    match order_by with
+    | [] -> List.sort (fun (a, _) (b, _) -> Int.compare a b) hits
+    | _ -> List.sort (compare_rows schema order_by) hits
+  in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+let count ?(where = Predicate.True) table =
+  let schema = Table.schema table in
+  List.length
+    (List.filter (fun (_, row) -> Predicate.eval where schema row) (candidates table where))
+
+let join ?(where_left = Predicate.True) ?(where_right = Predicate.True)
+    ~on left right =
+  let left_cols = List.map fst on and right_cols = List.map snd on in
+  let lschema = Table.schema left in
+  let left_rows = select ~where:where_left left in
+  let key_of_left (_, row) = List.map (Row.get lschema row) left_cols in
+  let rschema = Table.schema right in
+  let right_matches =
+    match Table.find_index_on right right_cols with
+    | Some idx ->
+      fun key ->
+        List.filter_map
+          (fun rowid ->
+            let row = Table.get right rowid in
+            if Predicate.eval where_right rschema row then Some (rowid, row) else None)
+          (Index.find idx key)
+    | None ->
+      (* Build a one-shot hash join table. *)
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun (rowid, row) ->
+          let key = List.map (Row.get rschema row) right_cols in
+          Hashtbl.add tbl key (rowid, row))
+        (select ~where:where_right right);
+      fun key -> List.rev (Hashtbl.find_all tbl key)
+  in
+  List.concat_map
+    (fun l -> List.map (fun r -> (l, r)) (right_matches (key_of_left l)))
+    left_rows
+
+let group_count ~by ?(where = Predicate.True) table =
+  let schema = Table.schema table in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, row) ->
+      if Predicate.eval where schema row then begin
+        let key = Row.get schema row by in
+        let n = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+        Hashtbl.replace counts key (n + 1)
+      end)
+    (candidates table where);
+  let pairs = Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [] in
+  List.sort
+    (fun (ka, na) (kb, nb) ->
+      let c = Int.compare nb na in
+      if c <> 0 then c else Value.compare ka kb)
+    pairs

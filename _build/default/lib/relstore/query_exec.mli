@@ -1,0 +1,39 @@
+(** Query execution over tables: selection with index acceleration,
+    ordering, limits, and equi-joins. *)
+
+type order = Asc of string | Desc of string
+
+type plan =
+  | Full_scan
+  | Index_eq of string  (** index name used for an equality probe *)
+  | Index_range of string
+
+val plan_for : Table.t -> Predicate.t -> plan
+(** The access path {!select} will use for this predicate: an exact-match
+    index over a prefix of the predicate's conjunctive equalities, else a
+    range index, else a scan. *)
+
+val select :
+  ?where:Predicate.t ->
+  ?order_by:order list ->
+  ?limit:int ->
+  Table.t ->
+  (int * Row.t) list
+(** Rows satisfying [where] (default all), ordered by [order_by] (default
+    row id), truncated to [limit]. *)
+
+val count : ?where:Predicate.t -> Table.t -> int
+
+val join :
+  ?where_left:Predicate.t ->
+  ?where_right:Predicate.t ->
+  on:(string * string) list ->
+  Table.t ->
+  Table.t ->
+  ((int * Row.t) * (int * Row.t)) list
+(** Equi-join: pairs where each [on] column of the left row equals the
+    matching column of the right row.  Probes a right-table index when
+    one covers the join columns, else builds a hash table on the fly. *)
+
+val group_count : by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) list
+(** Row counts grouped by a column's value, sorted descending by count. *)

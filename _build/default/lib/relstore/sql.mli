@@ -1,0 +1,56 @@
+(** A small SQL-ish query language over the storage engine.
+
+    Grammar (case-insensitive keywords):
+
+    {v
+    query   := SELECT cols FROM table [WHERE cond] [GROUP BY col]
+               [ORDER BY col [ASC|DESC] {, col [ASC|DESC]}] [LIMIT n]
+    cols    := '*' | agg | col ',' COUNT( '*' )   (with GROUP BY)
+             | col {',' col}
+    agg     := COUNT( '*' ) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+    cond    := or-expr;  OR < AND < NOT in binding strength; parentheses ok
+    atom    := col op literal
+             | col IS [NOT] NULL
+             | col LIKE 'substring'        (case-insensitive contains)
+             | col BETWEEN literal AND literal
+    op      := = | <> | != | < | <= | > | >=
+    literal := integer | float | 'string' | TRUE | FALSE | NULL
+    v}
+
+    Queries compile to {!Predicate} trees and run through {!Query_exec},
+    so the index planner applies exactly as for programmatic queries. *)
+
+type aggregate = Count_star | Sum of string | Avg of string | Min of string | Max of string
+
+type ast = {
+  projection : [ `All | `Aggregate of aggregate | `Columns of string list ];
+  table : string;
+  where : Predicate.t;
+  group_by : string option;
+      (** with GROUP BY, the projection must be [`Columns [group_col]]
+          plus an implicit count — i.e. [SELECT col, COUNT( '*' ) FROM t
+          GROUP BY col] *)
+  order_by : Query_exec.order list;
+  limit : int option;
+}
+
+exception Parse_error of string
+
+val parse : string -> ast
+(** Raises {!Parse_error} with a human-readable message. *)
+
+type result = { columns : string list; rows : Value.t list list }
+
+val execute : Database.t -> ast -> result
+(** Raises {!Errors.No_such_table} / {!Errors.No_such_column} for
+    references the schema cannot satisfy. *)
+
+val query : Database.t -> string -> result
+(** [parse] + [execute]. *)
+
+val render : result -> string
+(** Aligned table with a header, for CLI display. *)
+
+val explain : Database.t -> string -> string
+(** The access path the planner chose: ["full scan"] or
+    ["index <name> (eq|range)"]. *)

@@ -1,0 +1,165 @@
+type t = {
+  schema : Schema.t;
+  rows : (int, Row.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable indexes : Index.t list;
+}
+
+let create schema = { schema; rows = Hashtbl.create 64; next_id = 1; indexes = [] }
+
+let schema t = t.schema
+let name t = Schema.name t.schema
+let row_count t = Hashtbl.length t.rows
+
+let insert t row =
+  Schema.validate_row t.schema row;
+  let rowid = t.next_id in
+  (* Check unique indexes before mutating anything so a violation leaves
+     the table untouched. *)
+  List.iter
+    (fun idx ->
+      if Index.is_unique idx then begin
+        let key = Index.key_of_row idx row in
+        if Index.mem idx key then
+          Errors.constraint_violation "table %s: unique index %s violated"
+            (name t) (Index.name idx)
+      end)
+    t.indexes;
+  Hashtbl.replace t.rows rowid row;
+  List.iter (fun idx -> Index.add idx rowid row) t.indexes;
+  t.next_id <- rowid + 1;
+  rowid
+
+let insert_fields t fields = insert t (Row.of_alist t.schema fields)
+
+let get_opt t rowid = Hashtbl.find_opt t.rows rowid
+
+let get t rowid =
+  match get_opt t rowid with
+  | Some row -> row
+  | None -> raise (Errors.No_such_row rowid)
+
+let mem t rowid = Hashtbl.mem t.rows rowid
+
+let update t rowid row =
+  let old_row = get t rowid in
+  Schema.validate_row t.schema row;
+  List.iter
+    (fun idx ->
+      if Index.is_unique idx then begin
+        let key = Index.key_of_row idx row in
+        match Index.find_one idx key with
+        | Some other when other <> rowid ->
+          Errors.constraint_violation "table %s: unique index %s violated"
+            (name t) (Index.name idx)
+        | _ -> ()
+      end)
+    t.indexes;
+  List.iter (fun idx -> Index.remove idx rowid old_row) t.indexes;
+  Hashtbl.replace t.rows rowid row;
+  List.iter (fun idx -> Index.add idx rowid row) t.indexes
+
+let update_field t rowid column v =
+  let row = get t rowid in
+  update t rowid (Row.set t.schema row column v)
+
+let delete t rowid =
+  let row = get t rowid in
+  List.iter (fun idx -> Index.remove idx rowid row) t.indexes;
+  Hashtbl.remove t.rows rowid
+
+let iter t f = Hashtbl.iter f t.rows
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun rowid row acc -> f acc rowid row) t.rows init
+
+let rows t =
+  let all = fold t ~init:[] ~f:(fun acc rowid row -> (rowid, row) :: acc) in
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) all
+
+let add_index ?unique t ~name:iname ~columns =
+  if List.exists (fun idx -> Index.name idx = iname) t.indexes then
+    invalid_arg ("Table.add_index: duplicate index " ^ iname);
+  let idx = Index.create ?unique ~name:iname ~columns t.schema in
+  iter t (fun rowid row -> Index.add idx rowid row);
+  t.indexes <- t.indexes @ [ idx ]
+
+let index t iname = List.find (fun idx -> Index.name idx = iname) t.indexes
+let indexes t = t.indexes
+
+let find_index_on t columns =
+  List.find_opt (fun idx -> Index.column_names idx = columns) t.indexes
+
+let find_by t ~columns key =
+  match find_index_on t columns with
+  | Some idx ->
+    List.map (fun rowid -> (rowid, get t rowid)) (Index.find idx key)
+  | None ->
+    let positions = List.map (Schema.column_index t.schema) columns in
+    let matches row =
+      List.for_all2 (fun pos v -> Value.equal row.(pos) v) positions key
+    in
+    List.filter (fun (_, row) -> matches row) (rows t)
+
+let find_one_by t ~columns key =
+  match find_by t ~columns key with [] -> None | hit :: _ -> Some hit
+
+let serialize buf t =
+  Schema.serialize buf t.schema;
+  Varint.write_unsigned buf t.next_id;
+  Varint.write_unsigned buf (row_count t);
+  List.iter
+    (fun (rowid, row) ->
+      Varint.write_unsigned buf rowid;
+      Codec.write_row buf row)
+    (rows t);
+  (* Index definitions travel with the table; entries are rebuilt. *)
+  Varint.write_unsigned buf (List.length t.indexes);
+  List.iter
+    (fun idx ->
+      Codec.write_string buf (Index.name idx);
+      Buffer.add_char buf (if Index.is_unique idx then '\001' else '\000');
+      Varint.write_unsigned buf (List.length (Index.column_names idx));
+      List.iter (Codec.write_string buf) (Index.column_names idx))
+    t.indexes
+
+let deserialize s pos =
+  let schema = Schema.deserialize s pos in
+  let next_id = Varint.read_unsigned s pos in
+  let n = Varint.read_unsigned s pos in
+  let t = create schema in
+  for _ = 1 to n do
+    let rowid = Varint.read_unsigned s pos in
+    let row = Codec.read_row s pos in
+    Schema.validate_row schema row;
+    Hashtbl.replace t.rows rowid row
+  done;
+  t.next_id <- next_id;
+  let nidx = Varint.read_unsigned s pos in
+  for _ = 1 to nidx do
+    let iname = Codec.read_string s pos in
+    let unique =
+      if !pos >= String.length s then Errors.corrupt "table: truncated index flag"
+      else begin
+        let c = s.[!pos] in
+        incr pos;
+        c = '\001'
+      end
+    in
+    let ncols = Varint.read_unsigned s pos in
+    let columns = List.init ncols (fun _ -> Codec.read_string s pos) in
+    add_index ~unique t ~name:iname ~columns
+  done;
+  t
+
+(* Exact byte length of [serialize]'s output; the buffer round trip
+   keeps this impossible to get out of sync with the format. *)
+let data_size t =
+  let buf = Buffer.create 4096 in
+  serialize buf t;
+  Buffer.length buf
+
+let index_size t =
+  List.fold_left (fun acc idx -> acc + Index.serialized_size idx) 0 t.indexes
+
+let total_size t = data_size t + index_size t

@@ -1,0 +1,73 @@
+(** Tables: a heap of rows addressed by integer row id, plus secondary
+    indexes kept in sync on every mutation. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+val name : t -> string
+val row_count : t -> int
+
+val insert : t -> Row.t -> int
+(** Validates against the schema, assigns a fresh row id, updates all
+    indexes, returns the row id. *)
+
+val insert_fields : t -> (string * Value.t) list -> int
+(** {!Row.of_alist} followed by {!insert}. *)
+
+val get : t -> int -> Row.t
+(** Raises {!Errors.No_such_row}. *)
+
+val get_opt : t -> int -> Row.t option
+val mem : t -> int -> bool
+
+val update : t -> int -> Row.t -> unit
+(** Replace a row wholesale; indexes are maintained.  Raises
+    {!Errors.No_such_row}. *)
+
+val update_field : t -> int -> string -> Value.t -> unit
+(** Point update of one column. *)
+
+val delete : t -> int -> unit
+(** Raises {!Errors.No_such_row}. *)
+
+val iter : t -> (int -> Row.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> Row.t -> 'a) -> 'a
+val rows : t -> (int * Row.t) list
+(** All rows, ascending row id. *)
+
+(** {2 Indexes} *)
+
+val add_index : ?unique:bool -> t -> name:string -> columns:string list -> unit
+(** Builds the index over existing rows.  Raises [Invalid_argument] on a
+    duplicate index name. *)
+
+val index : t -> string -> Index.t
+(** Raises [Not_found]. *)
+
+val indexes : t -> Index.t list
+
+val find_index_on : t -> string list -> Index.t option
+(** An index whose columns are exactly this list, if any. *)
+
+val find_by : t -> columns:string list -> Value.t list -> (int * Row.t) list
+(** Equality lookup.  Uses an index when one covers [columns] exactly;
+    otherwise falls back to a scan. *)
+
+val find_one_by : t -> columns:string list -> Value.t list -> (int * Row.t) option
+
+(** {2 Persistence and size accounting} *)
+
+val serialize : Buffer.t -> t -> unit
+val deserialize : string -> int ref -> t
+
+val data_size : t -> int
+(** Exact encoded byte size of {!serialize}'s output: schema, rows and
+    index definitions (not materialized index entries). *)
+
+val index_size : t -> int
+(** Total {!Index.serialized_size} across this table's indexes. *)
+
+val total_size : t -> int
+(** [data_size + index_size]. *)

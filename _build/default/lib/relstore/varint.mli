@@ -1,0 +1,22 @@
+(** LEB128-style variable-length integers with zigzag signing, shared by
+    {!Codec} and the size-accounting paths. *)
+
+val zigzag : int -> int
+(** Map signed to unsigned: 0,-1,1,-2,2… -> 0,1,2,3,4… *)
+
+val unzigzag : int -> int
+
+val size_unsigned : int -> int
+(** Encoded byte length of a non-negative integer. *)
+
+val size_signed : int -> int
+(** Encoded byte length after zigzag. *)
+
+val write_unsigned : Buffer.t -> int -> unit
+val write_signed : Buffer.t -> int -> unit
+
+val read_unsigned : string -> int ref -> int
+(** [read_unsigned s pos] decodes at [!pos], advancing [pos].  Raises
+    {!Errors.Corrupt} on truncated input. *)
+
+val read_signed : string -> int ref -> int

@@ -1,0 +1,1 @@
+lib/textindex/inverted_index.ml: Hashtbl Int List Map Option String

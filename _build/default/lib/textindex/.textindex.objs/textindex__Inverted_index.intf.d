@@ -1,0 +1,1 @@
+lib/textindex/inverted_index.mli:

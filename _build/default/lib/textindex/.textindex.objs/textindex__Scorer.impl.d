@@ -1,0 +1,1 @@
+lib/textindex/scorer.ml: Float Hashtbl Int Inverted_index List Option String

@@ -1,0 +1,1 @@
+lib/textindex/scorer.mli: Inverted_index

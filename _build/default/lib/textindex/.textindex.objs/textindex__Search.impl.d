@@ -1,0 +1,1 @@
+lib/textindex/search.ml: Inverted_index List Scorer Tokenizer

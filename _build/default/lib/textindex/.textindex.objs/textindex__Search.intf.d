@@ -1,0 +1,1 @@
+lib/textindex/search.mli: Inverted_index Scorer

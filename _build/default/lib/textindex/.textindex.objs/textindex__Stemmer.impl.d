@@ -1,0 +1,1 @@
+lib/textindex/stemmer.ml: List Provkit_util String

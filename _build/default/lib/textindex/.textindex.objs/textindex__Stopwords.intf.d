@@ -1,0 +1,1 @@
+lib/textindex/stopwords.mli:

@@ -1,0 +1,1 @@
+lib/textindex/tokenizer.ml: Buffer List Stemmer Stopwords String

@@ -1,0 +1,1 @@
+lib/textindex/tokenizer.mli:

@@ -1,0 +1,17 @@
+(** Relevance scoring functions over an {!Inverted_index}. *)
+
+type t = Tf_idf | Bm25 of { k1 : float; b : float }
+
+val default_bm25 : t
+(** BM25 with the conventional k1 = 1.2, b = 0.75. *)
+
+val idf : Inverted_index.t -> string -> float
+(** Smoothed idf: [log (1 + (N - df + 0.5) / (df + 0.5))]; 0 when the
+    index is empty. *)
+
+val score_document : t -> Inverted_index.t -> terms:string list -> doc:int -> float
+(** Score of one document against a bag of query terms. *)
+
+val scores : t -> Inverted_index.t -> terms:string list -> (int * float) list
+(** All documents with a positive score, descending; ties broken by
+    ascending doc id for determinism. *)

@@ -1,0 +1,26 @@
+type t = { scorer : Scorer.t; index : Inverted_index.t }
+
+type result = { doc : int; score : float }
+
+let create ?(scorer = Scorer.default_bm25) () =
+  { scorer; index = Inverted_index.create () }
+
+let index_document t doc ~text =
+  Inverted_index.add_document t.index doc (Tokenizer.terms text)
+
+let index_terms t doc terms = Inverted_index.add_document t.index doc terms
+let remove_document t doc = Inverted_index.remove_document t.index doc
+let document_count t = Inverted_index.document_count t.index
+
+let truncate limit hits =
+  match limit with
+  | None -> hits
+  | Some n -> List.filteri (fun i _ -> i < n) hits
+
+let query_terms ?limit t terms =
+  let hits = Scorer.scores t.scorer t.index ~terms in
+  truncate limit (List.map (fun (doc, score) -> { doc; score }) hits)
+
+let query ?limit t text = query_terms ?limit t (Tokenizer.terms text)
+
+let index t = t.index

@@ -1,0 +1,41 @@
+let is_vowel c = c = 'a' || c = 'e' || c = 'i' || c = 'o' || c = 'u'
+
+let has_vowel s =
+  let found = ref false in
+  String.iter (fun c -> if is_vowel c then found := true) s;
+  !found
+
+let drop_suffix s n = String.sub s 0 (String.length s - n)
+
+let ends_with s suffix = Provkit_util.Strutil.is_suffix ~suffix s
+
+(* Try suffixes longest-first; a rule fires only if the remaining stem is
+   at least [min_stem] long and still contains a vowel. *)
+let rules =
+  [
+    ("ications", "ic"); ("ization", "ize"); ("fulness", "ful");
+    ("ousness", "ous"); ("iveness", "ive"); ("ational", "ate");
+    ("ication", "ic"); ("ements", "ement"); ("ingly", "e");
+    ("ement", "ement"); ("ments", "ment"); ("ation", "ate");
+    ("iness", "i"); ("sses", "ss"); ("ies", "i"); ("ness", "");
+    ("edly", ""); ("eed", "ee"); ("ing", ""); ("ed", ""); ("ies", "i");
+    ("es", "e"); ("ly", ""); ("s", "");
+  ]
+
+let min_stem = 3
+
+let apply_rule s (suffix, replacement) =
+  if not (ends_with s suffix) then None
+  else begin
+    let stem = drop_suffix s (String.length suffix) in
+    if String.length stem < min_stem || not (has_vowel stem) then None
+    else Some (stem ^ replacement)
+  end
+
+let stem s =
+  if String.length s <= min_stem then s
+  else begin
+    match List.find_map (apply_rule s) rules with
+    | Some s' -> s'
+    | None -> s
+  end

@@ -1,0 +1,9 @@
+(** A light English suffix-stripping stemmer (a simplified Porter step 1
+    plus common derivational endings).
+
+    Goal: conflate the inflected forms the synthetic vocabulary produces
+    ("gardening"/"gardens"/"garden") without the full Porter machinery.
+    It never shortens a token below three characters. *)
+
+val stem : string -> string
+(** Expects a lowercased token. *)

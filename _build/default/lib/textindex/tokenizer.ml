@@ -1,0 +1,30 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let tokenize_with keep s =
+  let out = ref [] in
+  let buf = Buffer.create 12 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if keep c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !out
+
+let tokenize s = tokenize_with is_alnum s
+
+let tokenize_url s =
+  (* is_alnum already splits on URL punctuation; kept separate so callers
+     can signal intent and so the policies can diverge later. *)
+  tokenize_with is_alnum s
+
+let pipeline ~stem tokens =
+  let keep t = String.length t > 1 && not (Stopwords.is_stopword t) in
+  let normalize t = if stem then Stemmer.stem t else t in
+  List.map normalize (List.filter keep tokens)
+
+let terms ?(stem = true) s = pipeline ~stem (tokenize s)
+let terms_of_url ?(stem = true) s = pipeline ~stem (tokenize_url s)

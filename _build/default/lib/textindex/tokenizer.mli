@@ -1,0 +1,20 @@
+(** Tokenization of page titles, body text and URLs into index terms.
+
+    Terms are lowercased ASCII alphanumeric runs.  URL tokenization also
+    splits on punctuation so that ["http://wine.example/cellar-list"]
+    yields ["http"; "wine"; "example"; "cellar"; "list"] — matching how a
+    browser's textual history search matches against URLs. *)
+
+val tokenize : string -> string list
+(** Tokens in order of appearance, lowercased, no filtering. *)
+
+val tokenize_url : string -> string list
+(** Like {!tokenize} but also splits URL punctuation ([:/?&=.#_-]). *)
+
+val terms : ?stem:bool -> string -> string list
+(** Pipeline used by the indexes: tokenize, drop stopwords and
+    single-character tokens, optionally stem ([stem] defaults to
+    [true]). *)
+
+val terms_of_url : ?stem:bool -> string -> string list
+(** {!terms} with URL splitting. *)

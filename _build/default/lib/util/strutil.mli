@@ -1,0 +1,27 @@
+(** Small string helpers shared across the repository. *)
+
+val lowercase_ascii : string -> string
+(** Alias of [String.lowercase_ascii], provided for discoverability. *)
+
+val split_on_chars : chars:char list -> string -> string list
+(** Split on any of [chars]; empty fields are dropped. *)
+
+val is_prefix : prefix:string -> string -> bool
+val is_suffix : suffix:string -> string -> bool
+
+val contains_substring : needle:string -> string -> bool
+(** Naive substring search; fine for the short strings we handle. *)
+
+val truncate : int -> string -> string
+(** [truncate n s] is [s] limited to [n] bytes, with a trailing ellipsis
+    when shortened. *)
+
+val join : sep:string -> string list -> string
+
+val pad_right : int -> string -> string
+(** Pad with spaces to at least the given width. *)
+
+val pad_left : int -> string -> string
+
+val repeat : int -> string -> string
+(** [repeat n s] concatenates [n] copies of [s]. *)

@@ -1,0 +1,47 @@
+type align = Left | Right
+
+let render ?aligns ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Table_fmt.render: ragged row")
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Table_fmt.render: aligns arity mismatch"
+    | None -> List.init arity (fun _ -> Left)
+  in
+  let all = header :: rows in
+  let widths =
+    List.init arity (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let fmt_row row =
+    let cells =
+      List.mapi
+        (fun c cell ->
+          let w = List.nth widths c in
+          match List.nth aligns c with
+          | Left -> Strutil.pad_right w cell
+          | Right -> Strutil.pad_left w cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> Strutil.repeat w "-") widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

@@ -1,0 +1,11 @@
+(** Aligned plain-text tables for experiment reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with a header rule.  Each row
+    must have the same arity as the header.  [aligns] defaults to
+    left-aligning every column. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

@@ -1,0 +1,12 @@
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time_ms f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+let repeat_time_ms n f =
+  List.init n (fun _ ->
+      let _, ms = time_ms f in
+      ms)

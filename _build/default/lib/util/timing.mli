@@ -1,0 +1,13 @@
+(** Wall-clock timing for query budgets and experiment measurements. *)
+
+val now_ns : unit -> int64
+(** Monotonic-ish wall clock in nanoseconds (from [Unix.gettimeofday] if
+    available, else [Sys.time]); adequate for millisecond-scale budgets. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] and returns its result with elapsed
+    milliseconds. *)
+
+val repeat_time_ms : int -> (unit -> 'a) -> float list
+(** [repeat_time_ms n f] runs [f] [n] times and returns each elapsed
+    duration in milliseconds. *)

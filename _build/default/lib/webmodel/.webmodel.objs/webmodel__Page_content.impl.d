@@ -1,0 +1,1 @@
+lib/webmodel/page_content.ml: Format List Textindex Url

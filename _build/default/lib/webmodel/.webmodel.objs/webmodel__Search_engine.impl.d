@@ -1,0 +1,1 @@
+lib/webmodel/search_engine.ml: Array List Option Page_content String Textindex Url Web_graph

@@ -1,0 +1,1 @@
+lib/webmodel/search_engine.mli: Url Web_graph

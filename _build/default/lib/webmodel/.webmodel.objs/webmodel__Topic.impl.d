@@ -1,0 +1,1 @@
+lib/webmodel/topic.ml: Array Hashtbl List Provkit_util String

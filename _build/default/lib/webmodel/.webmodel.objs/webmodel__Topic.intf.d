@@ -1,0 +1,1 @@
+lib/webmodel/topic.mli: Provkit_util

@@ -1,0 +1,1 @@
+lib/webmodel/url.ml: Buffer Format List String

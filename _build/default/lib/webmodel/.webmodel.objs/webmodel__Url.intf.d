@@ -1,0 +1,1 @@
+lib/webmodel/url.mli: Format

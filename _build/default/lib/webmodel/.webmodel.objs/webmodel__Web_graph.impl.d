@@ -1,0 +1,1 @@
+lib/webmodel/web_graph.ml: Array Hashtbl Int List Page_content Printf Provkit_util String Topic Url

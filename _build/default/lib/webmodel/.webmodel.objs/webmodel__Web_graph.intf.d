@@ -1,0 +1,1 @@
+lib/webmodel/web_graph.mli: Page_content Topic Url

@@ -1,0 +1,1 @@
+test/core_fixtures.ml: Array Browser Core List Provkit_util Webmodel

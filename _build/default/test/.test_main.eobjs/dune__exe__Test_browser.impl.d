@@ -1,0 +1,1 @@
+test/test_browser.ml: Alcotest Array Browser Int List Provkit_util Textindex Webmodel

@@ -1,0 +1,1 @@
+test/test_core_capture.ml: Alcotest Browser Core Core_fixtures List Option Provgraph QCheck QCheck_alcotest Webmodel

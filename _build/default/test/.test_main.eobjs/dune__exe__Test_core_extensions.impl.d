@@ -1,0 +1,1 @@
+test/test_core_extensions.ml: Alcotest Browser Core Core_fixtures Float Int List Option Provkit_util Webmodel

@@ -1,0 +1,1 @@
+test/test_core_queries.ml: Alcotest Array Browser Core Core_fixtures Int List Option Provkit_util Relstore String Textindex Webmodel

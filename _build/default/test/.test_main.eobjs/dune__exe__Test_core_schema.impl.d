@@ -1,0 +1,1 @@
+test/test_core_schema.ml: Alcotest Browser Core Core_fixtures List Option Provgraph Relstore

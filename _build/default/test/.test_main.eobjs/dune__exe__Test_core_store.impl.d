@@ -1,0 +1,1 @@
+test/test_core_store.ml: Alcotest Browser Core Fun Int List Option QCheck QCheck_alcotest Sys

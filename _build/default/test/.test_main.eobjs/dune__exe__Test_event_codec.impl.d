@@ -1,0 +1,1 @@
+test/test_event_codec.ml: Alcotest Browser Core Core_fixtures Filename Fun List Relstore String Sys

@@ -1,0 +1,1 @@
+test/test_graph_algorithms.ml: Alcotest Float Hashtbl Int List Option Provgraph Provkit_util QCheck QCheck_alcotest String

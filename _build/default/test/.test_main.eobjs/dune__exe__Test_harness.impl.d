@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Browser Core Harness Lazy List Relstore

@@ -1,0 +1,1 @@
+test/test_places_queries.ml: Alcotest Browser Core_fixtures Int List Provkit_util Webmodel

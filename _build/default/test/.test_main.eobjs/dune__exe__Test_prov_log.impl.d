@@ -1,0 +1,1 @@
+test/test_prov_log.ml: Alcotest Browser Buffer Core Core_fixtures Filename Fun List QCheck QCheck_alcotest Relstore String Sys

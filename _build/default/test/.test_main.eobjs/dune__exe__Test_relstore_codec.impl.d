@@ -1,0 +1,1 @@
+test/test_relstore_codec.ml: Alcotest Array Buffer Bytes List QCheck QCheck_alcotest Relstore String

@@ -1,0 +1,1 @@
+test/test_relstore_model.ml: Array Buffer Int List Printf QCheck QCheck_alcotest Relstore String

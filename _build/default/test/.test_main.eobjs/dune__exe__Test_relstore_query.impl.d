@@ -1,0 +1,1 @@
+test/test_relstore_query.ml: Alcotest Array Filename Format Fun List Relstore String Sys

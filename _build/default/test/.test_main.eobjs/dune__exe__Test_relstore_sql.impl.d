@@ -1,0 +1,1 @@
+test/test_relstore_sql.ml: Alcotest Array Core Core_fixtures List Provkit_util Relstore

@@ -1,0 +1,1 @@
+test/test_relstore_table.ml: Alcotest Array Buffer List Relstore

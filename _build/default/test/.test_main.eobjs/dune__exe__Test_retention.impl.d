@@ -1,0 +1,1 @@
+test/test_retention.ml: Alcotest Browser Core Core_fixtures List Option Relstore Webmodel

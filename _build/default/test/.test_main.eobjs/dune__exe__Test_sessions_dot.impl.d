@@ -1,0 +1,1 @@
+test/test_sessions_dot.ml: Alcotest Browser Core Core_fixtures Filename Float Fun List Option Provgraph Provkit_util String Sys Webmodel

@@ -1,0 +1,1 @@
+test/test_strutil.ml: Alcotest Provkit_util

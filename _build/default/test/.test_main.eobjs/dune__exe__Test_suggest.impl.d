@@ -1,0 +1,1 @@
+test/test_suggest.ml: Alcotest Array Browser Core Core_fixtures List Option Provkit_util String Webmodel

@@ -1,0 +1,1 @@
+test/test_table_fmt.ml: Alcotest List Provkit_util String

@@ -1,0 +1,1 @@
+test/test_textindex.ml: Alcotest List Textindex

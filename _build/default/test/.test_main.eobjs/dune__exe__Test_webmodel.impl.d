@@ -1,0 +1,1 @@
+test/test_webmodel.ml: Alcotest Array Hashtbl List Option Provkit_util String Webmodel

@@ -1,0 +1,168 @@
+(* History_tree (S3.1's tree-structure observation) and the alternative
+   graph-ranking algorithms (S4's future work). *)
+
+module F = Core_fixtures
+module Engine = Browser.Engine
+module Store = Core.Prov_store
+module HT = Core.History_tree
+module CS = Core.Contextual_search
+
+(* --- history tree --- *)
+
+let scripted_tree () =
+  let web, engine, api = F.make ~seed:21 () in
+  let tab = Engine.open_tab engine ~time:10 () in
+  let a = F.article web and h = F.hub web in
+  let v1 = Engine.visit_typed engine ~time:20 ~tab h in
+  let v2 = Engine.visit_link engine ~time:30 ~tab a in
+  (* A second tab spawned from the first. *)
+  let tab2 = Engine.open_tab engine ~time:40 ~opener:tab () in
+  let v3 = Engine.visit_typed engine ~time:50 ~tab:tab2 h in
+  Engine.close_tab engine ~time:60 tab;
+  Engine.close_tab engine ~time:61 tab2;
+  let store = Core.Api.store api in
+  let node v = Option.get (Store.visit_node store v.Engine.visit_id) in
+  (web, store, HT.build store, node v1, node v2, node v3)
+
+let test_tree_structure () =
+  let _web, _store, tree, n1, n2, n3 = scripted_tree () in
+  Alcotest.(check bool) "is a forest" true (HT.is_forest tree);
+  (match HT.node tree n2 with
+  | Some n ->
+    Alcotest.(check (option int)) "link child's parent" (Some n1) n.HT.parent;
+    Alcotest.(check bool) "edge kind" true (n.HT.edge = Some Core.Prov_edge.Link_traversal)
+  | None -> Alcotest.fail "visit missing from tree");
+  (match HT.node tree n1 with
+  | Some n ->
+    Alcotest.(check (option int)) "session root" None n.HT.parent;
+    Alcotest.(check (list int)) "root's child" [ n2 ] n.HT.children
+  | None -> Alcotest.fail "root missing");
+  (* The new tab was spawned while the article (v2) was displayed, so
+     its first visit descends from v2, not from the session root. *)
+  (match HT.node tree n3 with
+  | Some n ->
+    Alcotest.(check (option int)) "tab spawn parent" (Some n2) n.HT.parent;
+    Alcotest.(check bool) "spawn edge kind" true (n.HT.edge = Some Core.Prov_edge.Tab_spawn)
+  | None -> Alcotest.fail "spawned visit missing");
+  Alcotest.(check (list int)) "roots" [ n1 ] (HT.roots tree);
+  Alcotest.(check int) "depth of root" 0 (HT.depth tree n1);
+  Alcotest.(check int) "depth of child" 1 (HT.depth tree n2);
+  Alcotest.(check int) "depth of spawned" 2 (HT.depth tree n3);
+  Alcotest.(check (list int)) "subtree preorder" [ n1; n2; n3 ] (HT.subtree tree n1)
+
+let test_tree_excludes_non_displayed () =
+  let web, engine, api = F.make ~seed:22 () in
+  let tab = Engine.open_tab engine ~time:10 () in
+  let host = F.first_of_kind web Webmodel.Page_content.Download_host in
+  let _ = Engine.visit_typed engine ~time:20 ~tab host in
+  let file = F.file_of_host web host in
+  let _, fetch = Engine.download engine ~time:30 ~tab ~file_page:file in
+  let store = Core.Api.store api in
+  let tree = HT.build store in
+  let fetch_node = Option.get (Store.visit_node store fetch.Engine.visit_id) in
+  Alcotest.(check bool) "download fetch not in the view" true (HT.node tree fetch_node = None)
+
+let test_tree_on_random_browsing () =
+  let _web, _engine, api, _trace = F.simulated ~seed:23 ~days:2 () in
+  let store = Core.Api.store api in
+  let tree = HT.build store in
+  Alcotest.(check bool) "forest on random browsing" true (HT.is_forest tree);
+  Alcotest.(check bool) "non-trivial" true (HT.size tree > 50);
+  (* Every displayed visit appears exactly once across all subtrees. *)
+  let total =
+    List.fold_left (fun acc root -> acc + List.length (HT.subtree tree root)) 0 (HT.roots tree)
+  in
+  Alcotest.(check int) "subtrees partition the forest" (HT.size tree) total
+
+let test_tree_storage_comparison () =
+  let _web, _engine, api, _trace = F.simulated ~seed:24 ~days:1 () in
+  let store = Core.Api.store api in
+  let tree = HT.build store in
+  let c = HT.storage_comparison store tree in
+  Alcotest.(check int) "visit count matches" (HT.size tree) c.HT.visits;
+  Alcotest.(check bool) "tree encoding smaller" true
+    (c.HT.parent_pointer_bytes < c.HT.edge_table_bytes);
+  Alcotest.(check bool) "non-degenerate" true (c.HT.parent_pointer_bytes > 0)
+
+let test_tree_render () =
+  let _web, store, tree, _n1, _n2, _n3 = scripted_tree () in
+  let out = HT.render store tree in
+  Alcotest.(check bool) "mentions the typed marker" true
+    (Provkit_util.Strutil.contains_substring ~needle:"(new tab)" out);
+  Alcotest.(check bool) "indented children" true
+    (Provkit_util.Strutil.contains_substring ~needle:"\n  " out);
+  let capped = HT.render ~max_nodes:1 store tree in
+  Alcotest.(check bool) "truncation marked" true
+    (Provkit_util.Strutil.contains_substring ~needle:"truncated" capped)
+
+(* --- alternative ranking algorithms --- *)
+
+let rosebud_api () =
+  let web, engine, api = F.make ~seed:25 () in
+  let ambiguity = List.hd (Webmodel.Web_graph.ambiguities web) in
+  let tab = Engine.open_tab engine ~time:100 () in
+  let _serp, results = Engine.search engine ~time:110 ~tab ambiguity.Webmodel.Web_graph.term in
+  let clicked =
+    match results with
+    | r :: _ -> r.Webmodel.Search_engine.page
+    | [] -> failwith "no results"
+  in
+  let _ = Engine.click_result engine ~time:120 ~tab clicked in
+  Engine.close_tab engine ~time:130 tab;
+  (web, api, ambiguity.Webmodel.Web_graph.term, clicked)
+
+let page_urls api (resp : CS.response) =
+  List.map (fun (r : CS.result) -> Core.Api.page_url api r.CS.page) resp.CS.results
+
+let test_pagerank_variant_finds_click () =
+  let web, api, term, clicked = rosebud_api () in
+  let url = Webmodel.Url.to_string (Webmodel.Web_graph.page web clicked).Webmodel.Page_content.url in
+  let resp = CS.search_pagerank (Core.Api.text_index api) term in
+  Alcotest.(check bool) "pagerank variant returns the click" true
+    (List.mem url (page_urls api resp))
+
+let test_hits_variant_finds_click () =
+  let web, api, term, clicked = rosebud_api () in
+  let url = Webmodel.Url.to_string (Webmodel.Web_graph.page web clicked).Webmodel.Page_content.url in
+  let resp = CS.search_hits (Core.Api.text_index api) term in
+  Alcotest.(check bool) "hits variant returns the click" true
+    (List.mem url (page_urls api resp))
+
+let test_variants_respect_budget () =
+  let _web, api, term, _clicked = rosebud_api () in
+  let budget = { Core.Query_budget.deadline_ms = None; node_budget = Some 1 } in
+  let resp = CS.search_pagerank ~budget (Core.Api.text_index api) term in
+  Alcotest.(check bool) "pagerank truncates" true resp.CS.truncated;
+  let resp = CS.search_hits ~budget (Core.Api.text_index api) term in
+  Alcotest.(check bool) "hits truncates" true resp.CS.truncated
+
+let test_variants_agree_on_simulated_history () =
+  let _web, _engine, api, trace = F.simulated ~seed:26 ~days:1 () in
+  match trace.Browser.User_model.searches with
+  | [] -> ()
+  | e :: _ ->
+    let index = Core.Api.text_index api in
+    let q = e.Browser.User_model.query in
+    (* All three produce ranked, deduplicated page lists. *)
+    List.iter
+      (fun resp ->
+        let pages = List.map (fun (r : CS.result) -> r.CS.page) resp.CS.results in
+        Alcotest.(check int) "no duplicate pages" (List.length pages)
+          (List.length (List.sort_uniq Int.compare pages));
+        let scores = List.map (fun (r : CS.result) -> r.CS.score) resp.CS.results in
+        Alcotest.(check bool) "scores descending" true
+          (List.sort (fun a b -> Float.compare b a) scores = scores))
+      [ CS.search index q; CS.search_pagerank index q; CS.search_hits index q ]
+
+let suite =
+  [
+    Alcotest.test_case "tree structure" `Quick test_tree_structure;
+    Alcotest.test_case "tree excludes fetches" `Quick test_tree_excludes_non_displayed;
+    Alcotest.test_case "tree on random browsing" `Quick test_tree_on_random_browsing;
+    Alcotest.test_case "tree storage comparison" `Quick test_tree_storage_comparison;
+    Alcotest.test_case "tree render" `Quick test_tree_render;
+    Alcotest.test_case "pagerank variant" `Quick test_pagerank_variant_finds_click;
+    Alcotest.test_case "hits variant" `Quick test_hits_variant_finds_click;
+    Alcotest.test_case "variants respect budget" `Quick test_variants_respect_budget;
+    Alcotest.test_case "variants well-formed" `Quick test_variants_agree_on_simulated_history;
+  ]

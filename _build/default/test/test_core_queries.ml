@@ -1,0 +1,362 @@
+(* The four use-case queries (S2.1-S2.4), metrics, and the Api facade. *)
+
+module F = Core_fixtures
+module Web = Webmodel.Web_graph
+module Page = Webmodel.Page_content
+module Engine = Browser.Engine
+module Store = Core.Prov_store
+module CS = Core.Contextual_search
+module TS = Core.Time_search
+module L = Core.Lineage
+module M = Core.Metrics
+
+let page_url web pid = Webmodel.Url.to_string (Web.page web pid).Page.url
+
+(* A scripted rosebud episode: search an ambiguous term, click a planted
+   result, walk one link further.  Returns the api plus the two pages. *)
+let rosebud_session () =
+  let web, engine, api = F.make ~seed:2009 () in
+  let ambiguity = List.hd (Web.ambiguities web) in
+  let tab = Engine.open_tab engine ~time:100 () in
+  let _serp, results = Engine.search engine ~time:110 ~tab ambiguity.Web.term in
+  let clicked =
+    match
+      List.find_opt
+        (fun (r : Webmodel.Search_engine.result) ->
+          List.mem r.Webmodel.Search_engine.page ambiguity.Web.pages_a)
+        results
+    with
+    | Some r -> r.Webmodel.Search_engine.page
+    | None -> failwith "planted page not in results"
+  in
+  let _cv = Engine.click_result engine ~time:120 ~tab clicked in
+  let onward =
+    Array.to_list (Web.page web clicked).Page.links
+    |> List.find (fun l -> (Web.page web l).Page.kind <> Page.Redirect)
+  in
+  let _ov = Engine.visit_link engine ~time:130 ~tab onward in
+  Engine.close_tab engine ~time:140 tab;
+  (web, engine, api, ambiguity, clicked, onward)
+
+(* --- contextual history search (S2.1) --- *)
+
+let test_contextual_finds_descendant () =
+  let web, _engine, api, ambiguity, clicked, onward = rosebud_session () in
+  let response = Core.Api.contextual_history_search api ambiguity.Web.term in
+  let pages =
+    List.map (fun (r : CS.result) -> Core.Api.page_url api r.CS.page) response.CS.results
+  in
+  Alcotest.(check bool) "clicked page returned" true (List.mem (page_url web clicked) pages);
+  Alcotest.(check bool) "onward page returned (pure provenance)" true
+    (List.mem (page_url web onward) pages);
+  Alcotest.(check bool) "not truncated" false response.CS.truncated
+
+let test_textual_baseline_misses_descendant () =
+  let web, _engine, api, ambiguity, _clicked, onward = rosebud_session () in
+  let results = CS.textual_only ~limit:10 (Core.Api.text_index api) ambiguity.Web.term in
+  let pages = List.map (fun (r : CS.result) -> Core.Api.page_url api r.CS.page) results in
+  Alcotest.(check bool) "text-only misses the onward page" false
+    (List.mem (page_url web onward) pages)
+
+let test_contextual_scores_decompose () =
+  let _web, _engine, api, ambiguity, _clicked, _onward = rosebud_session () in
+  let response = Core.Api.contextual_history_search api ambiguity.Web.term in
+  List.iter
+    (fun (r : CS.result) ->
+      Alcotest.(check (float 1e-9)) "score = text + graph"
+        (r.CS.text_score +. r.CS.graph_score)
+        r.CS.score)
+    response.CS.results
+
+let test_contextual_budget_truncates () =
+  let _web, _engine, api, ambiguity, _clicked, _onward = rosebud_session () in
+  let response =
+    CS.search
+      ~budget:{ Core.Query_budget.deadline_ms = None; node_budget = Some 1 }
+      (Core.Api.text_index api) ambiguity.Web.term
+  in
+  Alcotest.(check bool) "tiny budget truncates" true response.CS.truncated
+
+let test_contextual_empty_query () =
+  let _web, _engine, api, _ambiguity, _clicked, _onward = rosebud_session () in
+  let response = Core.Api.contextual_history_search api "zzz unknown terms" in
+  Alcotest.(check (list unit)) "no results for unknown terms" []
+    (List.map (fun _ -> ()) response.CS.results)
+
+(* --- personalization (S2.2) --- *)
+
+let test_personalize_picks_topical_terms () =
+  let web, engine, api = F.make ~seed:4 () in
+  let ambiguity = List.hd (Web.ambiguities web) in
+  (* Browse sense-B pages heavily, then expand the ambiguous query. *)
+  let tab = Engine.open_tab engine ~time:100 () in
+  let clock = ref 100 in
+  List.iter
+    (fun p ->
+      clock := !clock + 20;
+      ignore (Engine.visit_typed engine ~time:!clock ~tab p))
+    (ambiguity.Web.pages_b @ ambiguity.Web.pages_b);
+  Engine.close_tab engine ~time:(!clock + 20) tab;
+  let expansion = Core.Api.personalize_web_search api ambiguity.Web.term in
+  Alcotest.(check bool) "terms added" true (expansion.Core.Personalize.added_terms <> []);
+  Alcotest.(check bool) "expanded differs" true
+    (expansion.Core.Personalize.expanded <> expansion.Core.Personalize.original);
+  Alcotest.(check bool) "original preserved as prefix" true
+    (Provkit_util.Strutil.is_prefix ~prefix:ambiguity.Web.term
+       expansion.Core.Personalize.expanded);
+  (* The added terms must not repeat the query itself. *)
+  List.iter
+    (fun (term, _) ->
+      Alcotest.(check bool) "no echo of the query" false (term = ambiguity.Web.term))
+    expansion.Core.Personalize.added_terms
+
+let test_personalize_empty_history () =
+  let _web, _engine, api = F.make () in
+  let expansion = Core.Api.personalize_web_search api "rosebud" in
+  Alcotest.(check string) "no context, no expansion" "rosebud"
+    expansion.Core.Personalize.expanded
+
+(* --- time-contextual search (S2.3) --- *)
+
+let test_time_search_co_open_beats_far () =
+  let web, engine, api = F.make ~seed:6 () in
+  (* Two wine articles: one co-open with a "tickets" search, one visited
+     a day later. *)
+  let wine_pages =
+    List.filter (fun p -> (Web.page web p).Page.kind = Page.Article) (Web.pages_of_topic web 0)
+  in
+  let near, far =
+    match wine_pages with a :: b :: _ -> (a, b) | _ -> failwith "need 2 articles"
+  in
+  let tab_a = Engine.open_tab engine ~time:1000 () in
+  let _ = Engine.visit_typed engine ~time:1010 ~tab:tab_a near in
+  let tab_b = Engine.open_tab engine ~time:1020 () in
+  let _ = Engine.search engine ~time:1030 ~tab:tab_b "plane tickets" in
+  Engine.close_tab engine ~time:1100 tab_a;
+  Engine.close_tab engine ~time:1100 tab_b;
+  let tab = Engine.open_tab engine ~time:90_000 () in
+  let _ = Engine.visit_typed engine ~time:90_010 ~tab far in
+  Engine.close_tab engine ~time:90_100 tab;
+  let topic_name = Webmodel.Topic.name (Web.topic web 0) in
+  let response =
+    Core.Api.time_contextual_search api ~query:topic_name ~context:"plane tickets"
+  in
+  let rank p =
+    M.rank_of ~equal:String.equal (page_url web p)
+      (List.map (fun (r : TS.result) -> Core.Api.page_url api r.TS.page) response.TS.results)
+  in
+  (match (rank near, rank far) with
+  | Some rn, Some rf ->
+    Alcotest.(check bool) "co-open page outranks distant page" true (rn < rf)
+  | Some _, None -> ()  (* distant page filtered out entirely: fine *)
+  | None, _ -> Alcotest.fail "co-open page missing from results");
+  match response.TS.results with
+  | top :: _ ->
+    Alcotest.(check (option int)) "top result gap 0" (Some 0) top.TS.best_gap
+  | [] -> Alcotest.fail "no results"
+
+let test_time_search_window () =
+  let web, engine, api = F.make ~seed:7 () in
+  let a = F.article web in
+  let tab = Engine.open_tab engine ~time:5000 () in
+  let _ = Engine.visit_typed engine ~time:5010 ~tab a in
+  Engine.close_tab engine ~time:5100 tab;
+  let title = (Web.page web a).Page.title in
+  let query = String.concat " " (Textindex.Tokenizer.terms ~stem:false title) in
+  let index = Core.Api.text_index api in
+  let ti = Core.Api.time_index api in
+  let hit = TS.search_window index ti ~query ~start:5000 ~stop:5200 in
+  Alcotest.(check bool) "found in window" true
+    (List.exists (fun (r : TS.result) -> Core.Api.page_url api r.TS.page = page_url web a)
+       hit.TS.results);
+  let miss = TS.search_window index ti ~query ~start:9000 ~stop:9999 in
+  Alcotest.(check (list unit)) "not found outside window" []
+    (List.map (fun _ -> ()) miss.TS.results)
+
+(* --- download lineage (S2.4) --- *)
+
+let scripted_download () =
+  let web, engine, api = F.make ~seed:8 () in
+  let host = F.first_of_kind web Page.Download_host in
+  let tab = Engine.open_tab engine ~time:10 () in
+  (* Build a chain: hub (visited repeatedly, recognizable) -> article ->
+     host -> download. *)
+  let hub = F.hub web in
+  let _ = Engine.visit_typed engine ~time:20 ~tab hub in
+  let _ = Engine.visit_typed engine ~time:25 ~tab hub in
+  let _ = Engine.visit_typed engine ~time:30 ~tab hub in
+  let _ = Engine.visit_link engine ~time:40 ~tab (F.article web) in
+  let _ = Engine.visit_link engine ~time:50 ~tab host in
+  let file = F.file_of_host web host in
+  let download_id, _ = Engine.download engine ~time:60 ~tab ~file_page:file in
+  Engine.close_tab engine ~time:70 tab;
+  (web, engine, api, host, hub, download_id)
+
+let test_lineage_ancestors () =
+  let web, _engine, api, host, hub, download_id = scripted_download () in
+  let store = Core.Api.store api in
+  let dnode = Option.get (Store.download_node store download_id) in
+  let anc = L.ancestors store dnode in
+  Alcotest.(check bool) "not truncated" false anc.L.truncated;
+  let pages =
+    List.filter_map
+      (fun (n, _) ->
+        match (Store.node store n).Core.Prov_node.kind with
+        | Core.Prov_node.Page { url; _ } -> Some url
+        | _ -> None)
+      anc.L.ancestors
+  in
+  Alcotest.(check bool) "host page among ancestors" true (List.mem (page_url web host) pages);
+  Alcotest.(check bool) "session hub among ancestors" true (List.mem (page_url web hub) pages);
+  (* Distances are breadth-first: sorted ascending in visit order. *)
+  let distances = List.map snd anc.L.ancestors in
+  Alcotest.(check bool) "distances non-decreasing" true
+    (List.sort compare distances = distances)
+
+let test_first_recognizable () =
+  let web, _engine, api, host, hub, download_id = scripted_download () in
+  let store = Core.Api.store api in
+  let dnode = Option.get (Store.download_node store download_id) in
+  match L.first_recognizable store dnode with
+  | None -> Alcotest.fail "no origin"
+  | Some origin ->
+    let url =
+      match (Store.node store origin.L.node).Core.Prov_node.kind with
+      | Core.Prov_node.Page { url; _ } -> url
+      | _ -> "?"
+    in
+    (* The host page was visited once; the hub three times (and typed).
+       The nearest recognizable ancestor must be a page the recognizer
+       accepts; with the default thresholds that is the hub, unless the
+       host was typed-navigated (it was not: it was reached by link). *)
+    Alcotest.(check string) "origin is the typed hub" (page_url web hub) url;
+    ignore host;
+    (* The path starts at the download and ends at the origin. *)
+    (match (origin.L.path, List.rev origin.L.path) with
+    | first :: _, last :: _ ->
+      Alcotest.(check int) "path starts at download" dnode first;
+      Alcotest.(check int) "path ends at origin" origin.L.node last
+    | _ -> Alcotest.fail "degenerate path");
+    Alcotest.(check int) "distance = path length - 1" (List.length origin.L.path - 1)
+      origin.L.distance;
+    (* describe_path renders one line per node *)
+    Alcotest.(check int) "description lines" (List.length origin.L.path)
+      (List.length (L.describe_path store origin.L.path))
+
+let test_downloads_descending () =
+  let web, _engine, api, host, _hub, download_id = scripted_download () in
+  let store = Core.Api.store api in
+  let dnode = Option.get (Store.download_node store download_id) in
+  let result = Core.Api.downloads_from_page api ~url:(page_url web host) in
+  Alcotest.(check (list int)) "the download descends from its host" [ dnode ]
+    result.L.downloads;
+  (* An unrelated page yields nothing. *)
+  let unrelated = Core.Api.downloads_from_page api ~url:"http://nowhere.example/x" in
+  Alcotest.(check (list int)) "unknown url empty" [] unrelated.L.downloads
+
+let test_lineage_never_follows_time_edges () =
+  (* Two unrelated sessions co-open in time: time edges must not leak
+     into lineage. *)
+  let web, engine, api = F.make ~seed:12 () in
+  let store = Core.Api.store api in
+  let host = F.first_of_kind web Page.Download_host in
+  let tab_a = Engine.open_tab engine ~time:10 () in
+  let unrelated = F.hub web in
+  let _ = Engine.visit_typed engine ~time:20 ~tab:tab_a unrelated in
+  let tab_b = Engine.open_tab engine ~time:30 () in
+  let _ = Engine.visit_typed engine ~time:40 ~tab:tab_b host in
+  let file = F.file_of_host web host in
+  let download_id, _ = Engine.download engine ~time:50 ~tab:tab_b ~file_page:file in
+  let dnode = Option.get (Store.download_node store download_id) in
+  let anc = L.ancestors store dnode in
+  let ancestor_pages =
+    List.filter_map
+      (fun (n, _) ->
+        match (Store.node store n).Core.Prov_node.kind with
+        | Core.Prov_node.Page { url; _ } -> Some url
+        | _ -> None)
+      anc.L.ancestors
+  in
+  Alcotest.(check bool) "co-open page not in lineage" false
+    (List.mem (page_url web unrelated) ancestor_pages)
+
+let test_api_download_lineage_wrapper () =
+  let _web, _engine, api, _host, _hub, download_id = scripted_download () in
+  Alcotest.(check bool) "wrapper finds origin" true
+    (Core.Api.download_lineage api ~download_id <> None);
+  Alcotest.(check bool) "unknown download None" true
+    (Core.Api.download_lineage api ~download_id:999 = None)
+
+(* --- metrics --- *)
+
+let test_metrics () =
+  Alcotest.(check (option int)) "rank found" (Some 2)
+    (M.rank_of ~equal:Int.equal 5 [ 9; 5; 1 ]);
+  Alcotest.(check (option int)) "rank missing" None (M.rank_of ~equal:Int.equal 7 [ 9; 5 ]);
+  Alcotest.(check (float 1e-9)) "rr" 0.5 (M.reciprocal_rank (Some 2));
+  Alcotest.(check (float 1e-9)) "rr miss" 0.0 (M.reciprocal_rank None);
+  Alcotest.(check (float 1e-9)) "mrr" 0.75 (M.mrr [ Some 1; Some 2 ]);
+  Alcotest.(check (float 1e-9)) "mrr empty" 0.0 (M.mrr []);
+  Alcotest.(check (float 1e-9)) "hit@1" 0.5 (M.hit_at 1 [ Some 1; Some 3 ]);
+  Alcotest.(check (float 1e-9)) "hit@3" 1.0 (M.hit_at 3 [ Some 1; Some 3 ]);
+  let p, r = M.precision_recall ~relevant:[ 1; 2; 3 ] ~retrieved:[ 2; 3; 4; 5 ] in
+  Alcotest.(check (float 1e-9)) "precision" 0.5 p;
+  Alcotest.(check (float 1e-9)) "recall" (2.0 /. 3.0) r;
+  let p0, r0 = M.precision_recall ~relevant:[] ~retrieved:[] in
+  Alcotest.(check (float 1e-9)) "empty precision" 1.0 p0;
+  Alcotest.(check (float 1e-9)) "empty recall" 1.0 r0;
+  Alcotest.(check (float 1e-9)) "f1" 0.5 (M.f1 ~precision:0.5 ~recall:0.5);
+  Alcotest.(check (float 1e-9)) "f1 zero" 0.0 (M.f1 ~precision:0.0 ~recall:0.0);
+  Alcotest.(check (option (float 1e-9))) "mean rank" (Some 2.0)
+    (M.mean_rank [ Some 1; Some 3; None ]);
+  Alcotest.(check (option (float 1e-9))) "mean rank all missing" None (M.mean_rank [ None ])
+
+(* --- api housekeeping --- *)
+
+let test_api_index_refresh () =
+  let web, engine, api = F.make ~seed:13 () in
+  let tab = Engine.open_tab engine ~time:10 () in
+  let a = F.article web in
+  let _ = Engine.visit_typed engine ~time:20 ~tab a in
+  let index1 = Core.Api.text_index api in
+  Alcotest.(check bool) "indexed something" true (Core.Prov_text_index.indexed_count index1 > 0);
+  (* Browsing a lot more forces a lazy rebuild on next access. *)
+  List.iter
+    (fun p ->
+      if Page.is_navigable (Web.page web p) then
+        ignore (Engine.visit_typed engine ~time:(100 + p) ~tab p))
+    (Web.pages_of_topic web 1);
+  Core.Api.refresh api;
+  let index2 = Core.Api.text_index api in
+  Alcotest.(check bool) "index grew" true
+    (Core.Prov_text_index.indexed_count index2 > Core.Prov_text_index.indexed_count index1)
+
+let test_api_persist () =
+  let _web, _engine, api, _ambiguity, _clicked, _onward = rosebud_session () in
+  let db = Core.Api.persist api in
+  Alcotest.(check bool) "non-empty image" true (Relstore.Database.total_size db > 0);
+  let store' = Core.Prov_schema.of_database db in
+  Alcotest.(check int) "round trip node count"
+    (Store.node_count (Core.Api.store api))
+    (Store.node_count store')
+
+let suite =
+  [
+    Alcotest.test_case "contextual finds descendant" `Quick test_contextual_finds_descendant;
+    Alcotest.test_case "textual baseline misses" `Quick test_textual_baseline_misses_descendant;
+    Alcotest.test_case "contextual score decomposition" `Quick test_contextual_scores_decompose;
+    Alcotest.test_case "contextual budget truncates" `Quick test_contextual_budget_truncates;
+    Alcotest.test_case "contextual empty query" `Quick test_contextual_empty_query;
+    Alcotest.test_case "personalize topical terms" `Quick test_personalize_picks_topical_terms;
+    Alcotest.test_case "personalize empty history" `Quick test_personalize_empty_history;
+    Alcotest.test_case "time search co-open wins" `Quick test_time_search_co_open_beats_far;
+    Alcotest.test_case "time search window" `Quick test_time_search_window;
+    Alcotest.test_case "lineage ancestors" `Quick test_lineage_ancestors;
+    Alcotest.test_case "first recognizable" `Quick test_first_recognizable;
+    Alcotest.test_case "downloads descending" `Quick test_downloads_descending;
+    Alcotest.test_case "lineage ignores time edges" `Quick test_lineage_never_follows_time_edges;
+    Alcotest.test_case "api lineage wrapper" `Quick test_api_download_lineage_wrapper;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "api index refresh" `Quick test_api_index_refresh;
+    Alcotest.test_case "api persist" `Quick test_api_persist;
+  ]

@@ -1,0 +1,341 @@
+(* Traversals, paths, cycles, HITS, PageRank and neighborhood expansion,
+   including qcheck properties on random DAGs. *)
+
+module G = Provgraph.Digraph
+module Tr = Provgraph.Traversal
+module P = Provgraph.Path
+module C = Provgraph.Cycle
+module Prng = Provkit_util.Prng
+
+let chain n =
+  let g = G.create () in
+  for i = 1 to n do
+    G.add_node g i ()
+  done;
+  for i = 1 to n - 1 do
+    G.add_edge g ~src:i ~dst:(i + 1) ()
+  done;
+  g
+
+let diamond () =
+  let g = G.create () in
+  List.iter (fun n -> G.add_node g n ()) [ 1; 2; 3; 4 ];
+  G.add_edge g ~src:1 ~dst:2 ();
+  G.add_edge g ~src:1 ~dst:3 ();
+  G.add_edge g ~src:2 ~dst:4 ();
+  G.add_edge g ~src:3 ~dst:4 ();
+  g
+
+let cycle3 () =
+  let g = G.create () in
+  List.iter (fun n -> G.add_node g n ()) [ 1; 2; 3 ];
+  G.add_edge g ~src:1 ~dst:2 ();
+  G.add_edge g ~src:2 ~dst:3 ();
+  G.add_edge g ~src:3 ~dst:1 ();
+  g
+
+(* Random DAG: edges only from lower to higher ids. *)
+let random_dag rng n p =
+  let g = G.create () in
+  for i = 1 to n do
+    G.add_node g i ()
+  done;
+  for i = 1 to n do
+    for j = i + 1 to n do
+      if Prng.bernoulli rng p then G.add_edge g ~src:i ~dst:j ()
+    done
+  done;
+  g
+
+(* --- BFS --- *)
+
+let test_bfs_depths () =
+  let g = diamond () in
+  let r = Tr.bfs g ~roots:[ 1 ] in
+  Alcotest.(check bool) "not truncated" false r.Tr.truncated;
+  Alcotest.(check (list (pair int int))) "depths" [ (1, 0); (2, 1); (3, 1); (4, 2) ] r.Tr.visited
+
+let test_bfs_backward () =
+  let g = diamond () in
+  let r = Tr.bfs ~direction:Tr.Backward g ~roots:[ 4 ] in
+  Alcotest.(check (list (pair int int))) "ancestors with depth"
+    [ (4, 0); (2, 1); (3, 1); (1, 2) ]
+    r.Tr.visited
+
+let test_bfs_both () =
+  let g = chain 5 in
+  let r = Tr.bfs ~direction:Tr.Both g ~roots:[ 3 ] in
+  Alcotest.(check int) "reaches everything" 5 (List.length r.Tr.visited)
+
+let test_bfs_max_depth () =
+  let g = chain 10 in
+  let r = Tr.bfs ~max_depth:3 g ~roots:[ 1 ] in
+  Alcotest.(check int) "depth-limited" 4 (List.length r.Tr.visited);
+  Alcotest.(check bool) "flagged truncated" true r.Tr.truncated
+
+let test_bfs_budget () =
+  let g = chain 100 in
+  let r = Tr.bfs ~budget:10 g ~roots:[ 1 ] in
+  Alcotest.(check bool) "budget truncates" true r.Tr.truncated;
+  Alcotest.(check bool) "bounded visits" true (List.length r.Tr.visited <= 12)
+
+let test_bfs_follow_filter () =
+  let g = G.create () in
+  List.iter (fun n -> G.add_node g n ()) [ 1; 2; 3 ];
+  G.add_edge g ~src:1 ~dst:2 "keep";
+  G.add_edge g ~src:1 ~dst:3 "skip";
+  let r = Tr.bfs ~follow:(fun ~src:_ ~dst:_ e -> e = "keep") g ~roots:[ 1 ] in
+  Alcotest.(check (list (pair int int))) "filtered" [ (1, 0); (2, 1) ] r.Tr.visited
+
+let test_bfs_multiple_roots_and_unknown () =
+  let g = diamond () in
+  let r = Tr.bfs g ~roots:[ 2; 3; 99 ] in
+  Alcotest.(check int) "union of reachability" 3 (List.length r.Tr.visited)
+
+let test_ancestors_descendants () =
+  let g = diamond () in
+  let anc = Tr.ancestors g 4 in
+  Alcotest.(check (list int)) "ancestors exclude self" [ 2; 3; 1 ]
+    (List.map fst anc.Tr.visited);
+  let desc = Tr.descendants g 1 in
+  Alcotest.(check (list int)) "descendants" [ 2; 3; 4 ] (List.map fst desc.Tr.visited)
+
+let test_dfs_postorder () =
+  let g = chain 4 in
+  Alcotest.(check (list int)) "postorder of a chain" [ 4; 3; 2; 1 ]
+    (Tr.dfs_postorder g ~roots:[ 1 ])
+
+(* --- paths --- *)
+
+let test_shortest_path () =
+  let g = diamond () in
+  (match P.shortest_path g ~src:1 ~dst:4 with
+  | Some [ 1; mid; 4 ] when mid = 2 || mid = 3 -> ()
+  | other ->
+    Alcotest.failf "unexpected path %s"
+      (match other with
+      | None -> "none"
+      | Some p -> String.concat "," (List.map string_of_int p)));
+  Alcotest.(check (option (list int))) "self path" (Some [ 1 ]) (P.shortest_path g ~src:1 ~dst:1);
+  Alcotest.(check (option (list int))) "unreachable" None (P.shortest_path g ~src:4 ~dst:1);
+  Alcotest.(check (option int)) "distance" (Some 2) (P.distance g ~src:1 ~dst:4)
+
+let test_shortest_path_backward () =
+  let g = diamond () in
+  match P.shortest_path ~direction:Tr.Backward g ~src:4 ~dst:1 with
+  | Some path -> Alcotest.(check int) "length 3" 3 (List.length path)
+  | None -> Alcotest.fail "backward path missing"
+
+let test_first_matching_ancestor () =
+  let g = chain 6 in
+  (match P.first_matching_ancestor g ~start:6 ~matches:(fun n -> n <= 3) with
+  | Some (node, path) ->
+    Alcotest.(check int) "nearest match" 3 node;
+    Alcotest.(check (list int)) "path from start back" [ 6; 5; 4; 3 ] path
+  | None -> Alcotest.fail "no ancestor found");
+  Alcotest.(check bool) "no match is None" true
+    (P.first_matching_ancestor g ~start:3 ~matches:(fun n -> n > 90) = None)
+
+let test_all_paths () =
+  let g = diamond () in
+  let paths = P.all_paths g ~src:1 ~dst:4 in
+  Alcotest.(check int) "two simple paths" 2 (List.length paths);
+  let g2 = cycle3 () in
+  (* Cycles must not make this diverge. *)
+  Alcotest.(check int) "one simple path in cycle" 1 (List.length (P.all_paths g2 ~src:1 ~dst:3))
+
+(* --- cycles / topo --- *)
+
+let test_cycle_detection () =
+  Alcotest.(check bool) "chain acyclic" false (C.has_cycle (chain 5));
+  Alcotest.(check bool) "diamond acyclic" false (C.has_cycle (diamond ()));
+  Alcotest.(check bool) "cycle detected" true (C.has_cycle (cycle3 ()))
+
+let test_find_cycle_witness () =
+  match C.find_cycle (cycle3 ()) with
+  | Some witness ->
+    Alcotest.(check int) "cycle length" 3 (List.length (List.sort_uniq Int.compare witness))
+  | None -> Alcotest.fail "cycle not found"
+
+let test_self_loop_cycle () =
+  let g = G.create () in
+  G.add_node g 1 ();
+  G.add_edge g ~src:1 ~dst:1 ();
+  Alcotest.(check bool) "self loop is a cycle" true (C.has_cycle g)
+
+let test_topological_sort () =
+  (match C.topological_sort (diamond ()) with
+  | Some [ 1; 2; 3; 4 ] -> ()
+  | Some other -> Alcotest.failf "order %s" (String.concat "," (List.map string_of_int other))
+  | None -> Alcotest.fail "diamond should sort");
+  Alcotest.(check bool) "cyclic graph has no topo order" true
+    (C.topological_sort (cycle3 ()) = None)
+
+let test_sccs () =
+  let g = G.create () in
+  List.iter (fun n -> G.add_node g n ()) [ 1; 2; 3; 4 ];
+  G.add_edge g ~src:1 ~dst:2 ();
+  G.add_edge g ~src:2 ~dst:1 ();
+  G.add_edge g ~src:2 ~dst:3 ();
+  G.add_edge g ~src:3 ~dst:4 ();
+  let sccs = C.strongly_connected_components g in
+  let sorted = List.sort compare sccs in
+  Alcotest.(check (list (list int))) "components" [ [ 1; 2 ]; [ 3 ]; [ 4 ] ] sorted
+
+(* --- HITS / PageRank --- *)
+
+let test_hits_hub_authority () =
+  (* 1 and 2 point at 3 and 4; 3,4 are authorities, 1,2 hubs. *)
+  let g = G.create () in
+  List.iter (fun n -> G.add_node g n ()) [ 1; 2; 3; 4 ];
+  List.iter
+    (fun (s, d) -> G.add_edge g ~src:s ~dst:d ())
+    [ (1, 3); (1, 4); (2, 3); (2, 4) ];
+  let scores = Provgraph.Hits.run g in
+  let top_auth = Provgraph.Hits.top scores `Authority 2 in
+  let top_hub = Provgraph.Hits.top scores `Hub 2 in
+  Alcotest.(check (list int)) "authorities" [ 3; 4 ] (List.sort compare (List.map fst top_auth));
+  Alcotest.(check (list int)) "hubs" [ 1; 2 ] (List.sort compare (List.map fst top_hub))
+
+let test_hits_subset () =
+  let g = diamond () in
+  let scores = Provgraph.Hits.run ~subset:[ 1; 2 ] g in
+  Alcotest.(check int) "only subset scored" 2 (List.length (Provgraph.Hits.top scores `Hub 10))
+
+let test_pagerank_sums_to_one () =
+  let rng = Prng.create 3 in
+  let g = random_dag rng 30 0.1 in
+  let pr = Provgraph.Pagerank.run g in
+  let total = Hashtbl.fold (fun _ v acc -> acc +. v) pr 0.0 in
+  if Float.abs (total -. 1.0) > 1e-6 then Alcotest.failf "mass %f" total
+
+let test_pagerank_sink_attracts () =
+  let g = chain 3 in
+  let pr = Provgraph.Pagerank.run g in
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt pr n) in
+  Alcotest.(check bool) "downstream outranks upstream" true (get 3 > get 1)
+
+let test_personalized_pagerank () =
+  let g = diamond () in
+  let pr = Provgraph.Pagerank.run ~personalization:[ (2, 1.0) ] g in
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt pr n) in
+  Alcotest.(check bool) "restart node favored over sibling" true (get 2 > get 3)
+
+(* --- neighborhood --- *)
+
+let test_neighborhood_decay () =
+  let g = chain 4 in
+  let config =
+    { Provgraph.Neighborhood.default_config with Provgraph.Neighborhood.max_hops = 3; decay = 0.5; direction = Tr.Forward }
+  in
+  let scores, truncated = Provgraph.Neighborhood.expand ~config g ~seeds:[ (1, 1.0) ] in
+  Alcotest.(check bool) "not truncated" false truncated;
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt scores n) in
+  Alcotest.(check (float 1e-9)) "seed" 1.0 (get 1);
+  Alcotest.(check (float 1e-9)) "hop 1" 0.5 (get 2);
+  Alcotest.(check (float 1e-9)) "hop 2" 0.25 (get 3);
+  Alcotest.(check (float 1e-9)) "hop 3" 0.125 (get 4)
+
+let test_neighborhood_additive_seeds () =
+  let g = chain 3 in
+  let config =
+    { Provgraph.Neighborhood.default_config with Provgraph.Neighborhood.max_hops = 2; decay = 0.5; direction = Tr.Both }
+  in
+  let scores, _ = Provgraph.Neighborhood.expand ~config g ~seeds:[ (1, 1.0); (3, 1.0) ] in
+  let get n = Option.value ~default:0.0 (Hashtbl.find_opt scores n) in
+  (* node 2 receives 0.5 from each side *)
+  Alcotest.(check (float 1e-9)) "mass adds" 1.0 (get 2)
+
+let test_neighborhood_ranked () =
+  let scores = Hashtbl.create 4 in
+  Hashtbl.replace scores 1 0.3;
+  Hashtbl.replace scores 2 0.9;
+  Hashtbl.replace scores 3 0.9;
+  Alcotest.(check (list int)) "rank order with tie" [ 2; 3; 1 ]
+    (List.map fst (Provgraph.Neighborhood.ranked scores))
+
+(* --- properties on random DAGs --- *)
+
+let dag_gen =
+  QCheck.Gen.(
+    map2
+      (fun seed n -> (seed, 2 + n))
+      int (int_bound 28))
+
+let prop_random_dag_acyclic_and_sortable =
+  QCheck.Test.make ~name:"random DAGs: acyclic, topo-sortable, topo order respects edges"
+    ~count:60
+    (QCheck.make dag_gen) (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = random_dag rng n 0.15 in
+      (not (C.has_cycle g))
+      &&
+      match C.topological_sort g with
+      | None -> false
+      | Some order ->
+        let pos = Hashtbl.create n in
+        List.iteri (fun i id -> Hashtbl.replace pos id i) order;
+        let ok = ref (List.length order = n) in
+        G.iter_edges g (fun s d _ ->
+            if Hashtbl.find pos s >= Hashtbl.find pos d then ok := false);
+        !ok)
+
+let prop_bfs_depth_is_shortest =
+  QCheck.Test.make ~name:"BFS depth equals shortest-path distance" ~count:40
+    (QCheck.make dag_gen) (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = random_dag rng n 0.2 in
+      let r = Tr.bfs g ~roots:[ 1 ] in
+      List.for_all
+        (fun (node, depth) ->
+          match P.distance g ~src:1 ~dst:node with
+          | Some d -> d = depth
+          | None -> false)
+        r.Tr.visited)
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the node set" ~count:40 (QCheck.make dag_gen)
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      (* add some back edges to create non-trivial SCCs *)
+      let g = random_dag rng n 0.15 in
+      let nodes = G.nodes g in
+      List.iter
+        (fun id -> if Prng.bernoulli rng 0.2 && id > 1 then G.add_edge g ~src:id ~dst:1 ())
+        nodes;
+      let sccs = C.strongly_connected_components g in
+      let flattened = List.sort Int.compare (List.concat sccs) in
+      flattened = nodes)
+
+let suite =
+  [
+    Alcotest.test_case "bfs depths" `Quick test_bfs_depths;
+    Alcotest.test_case "bfs backward" `Quick test_bfs_backward;
+    Alcotest.test_case "bfs both" `Quick test_bfs_both;
+    Alcotest.test_case "bfs max depth" `Quick test_bfs_max_depth;
+    Alcotest.test_case "bfs budget" `Quick test_bfs_budget;
+    Alcotest.test_case "bfs follow filter" `Quick test_bfs_follow_filter;
+    Alcotest.test_case "bfs multi-root" `Quick test_bfs_multiple_roots_and_unknown;
+    Alcotest.test_case "ancestors/descendants" `Quick test_ancestors_descendants;
+    Alcotest.test_case "dfs postorder" `Quick test_dfs_postorder;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "shortest path backward" `Quick test_shortest_path_backward;
+    Alcotest.test_case "first matching ancestor" `Quick test_first_matching_ancestor;
+    Alcotest.test_case "all paths" `Quick test_all_paths;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "cycle witness" `Quick test_find_cycle_witness;
+    Alcotest.test_case "self loop" `Quick test_self_loop_cycle;
+    Alcotest.test_case "topological sort" `Quick test_topological_sort;
+    Alcotest.test_case "SCCs" `Quick test_sccs;
+    Alcotest.test_case "HITS hubs/authorities" `Quick test_hits_hub_authority;
+    Alcotest.test_case "HITS subset" `Quick test_hits_subset;
+    Alcotest.test_case "pagerank mass" `Quick test_pagerank_sums_to_one;
+    Alcotest.test_case "pagerank sink" `Quick test_pagerank_sink_attracts;
+    Alcotest.test_case "personalized pagerank" `Quick test_personalized_pagerank;
+    Alcotest.test_case "neighborhood decay" `Quick test_neighborhood_decay;
+    Alcotest.test_case "neighborhood additive" `Quick test_neighborhood_additive_seeds;
+    Alcotest.test_case "neighborhood ranked" `Quick test_neighborhood_ranked;
+    QCheck_alcotest.to_alcotest prop_random_dag_acyclic_and_sortable;
+    QCheck_alcotest.to_alcotest prop_bfs_depth_is_shortest;
+    QCheck_alcotest.to_alcotest prop_scc_partition;
+  ]

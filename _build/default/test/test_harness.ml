@@ -1,0 +1,119 @@
+(* The experiment harness on a miniature dataset: datasets are
+   deterministic, every experiment produces a well-formed report, and
+   the headline claims hold in miniature. *)
+
+module D = Harness.Dataset
+module E = Harness.Experiments
+module R = Harness.Report
+module UM = Browser.User_model
+
+let tiny () = D.with_days ~seed:123 3
+
+let dataset = lazy (tiny ())
+
+let test_dataset_deterministic () =
+  let a = tiny () and b = tiny () in
+  Alcotest.(check int) "same node count"
+    (Core.Prov_store.node_count (D.store a))
+    (Core.Prov_store.node_count (D.store b));
+  Alcotest.(check int) "same searches"
+    (List.length a.D.trace.UM.searches)
+    (List.length b.D.trace.UM.searches)
+
+let test_dataset_dual_captures () =
+  let ds = Lazy.force dataset in
+  let full = Core.Prov_store.node_count (D.store ds) in
+  let ff = Core.Prov_store.node_count (Core.Capture.store ds.D.ff_capture) in
+  Alcotest.(check bool) "firefox capture smaller" true (ff < full);
+  Alcotest.(check bool) "firefox capture non-empty" true (ff > 0)
+
+let test_dataset_mappings () =
+  let ds = Lazy.force dataset in
+  (* Every clicked page has a provenance node and a place. *)
+  List.iter
+    (fun (e : UM.search_episode) ->
+      match e.UM.clicked_page with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool) "page node exists" true (D.page_node ds p <> None);
+        Alcotest.(check bool) "place exists" true (D.place_of_web_page ds p <> None))
+    ds.D.trace.UM.searches
+
+let check_report (r : R.t) =
+  Alcotest.(check bool) (r.R.id ^ " has rows") true (r.R.rows <> []);
+  let arity = List.length r.R.header in
+  List.iter
+    (fun row -> Alcotest.(check int) (r.R.id ^ " row arity") arity (List.length row))
+    r.R.rows
+
+let test_reports_well_formed () =
+  let ds = Lazy.force dataset in
+  List.iter check_report
+    [
+      E.e1_history_scale ds;
+      E.e2_storage_overhead ds;
+      E.e3_query_latency ~samples:6 ds;
+      E.e4_contextual_quality ~max_episodes:10 ds;
+      E.e5_personalization ~max_episodes:5 ds;
+      E.e6_time_context ds;
+      E.e7_download_lineage ~max_episodes:10 ds;
+      E.e9_versioning ds;
+      E.e10_redirect_ablation ~max_episodes:5 ds;
+      E.e11_capture_ablation ~max_episodes:5 ds;
+    ]
+
+let test_e2_overhead_shape () =
+  let ds = Lazy.force dataset in
+  let places = Relstore.Database.total_size (Relstore.Database.of_bytes (Relstore.Database.to_bytes (Browser.Places_db.database (D.places ds)))) in
+  let prov =
+    Relstore.Database.total_size (Core.Prov_schema.to_database (D.store ds))
+  in
+  let overhead = float_of_int prov /. float_of_int places -. 1.0 in
+  (* The paper reports 39.5%; we assert the shape: a modest constant
+     factor, not a blow-up and not free. *)
+  Alcotest.(check bool) "overhead positive" true (overhead > 0.0);
+  Alcotest.(check bool) "overhead under 100%" true (overhead < 1.0)
+
+let test_e4_provenance_beats_baseline_on_opaque () =
+  let ds = D.with_days ~seed:7 6 in
+  let report = E.e4_contextual_quality ~max_episodes:120 ds in
+  (* rows: baseline all / contextual all / baseline opaque / contextual
+     opaque; column 2 is MRR. *)
+  let mrr row = float_of_string (List.nth row 2) in
+  match report.R.rows with
+  | [ _ba; _ca; bo; co ] ->
+    Alcotest.(check (float 1e-6)) "baseline blind on opaque" 0.0 (mrr bo);
+    Alcotest.(check bool) "contextual sees opaque" true (mrr co > 0.0)
+  | _ -> Alcotest.fail "unexpected report shape"
+
+let test_e1_scale_scales_with_days () =
+  let small = D.with_days ~seed:5 2 in
+  let bigger = D.with_days ~seed:5 4 in
+  Alcotest.(check bool) "more days, more nodes" true
+    (Core.Prov_store.node_count (D.store bigger)
+    > Core.Prov_store.node_count (D.store small))
+
+let test_report_print_does_not_raise () =
+  let ds = Lazy.force dataset in
+  (* Printing goes to stdout; we only assert it does not raise. *)
+  R.print (E.e1_history_scale ds)
+
+let test_report_formatters () =
+  Alcotest.(check string) "bytes MB" "2.00 MB" (R.fmt_bytes 2_097_152);
+  Alcotest.(check string) "bytes KB" "1.5 KB" (R.fmt_bytes 1536);
+  Alcotest.(check string) "bytes B" "17 B" (R.fmt_bytes 17);
+  Alcotest.(check string) "pct" "39.5%" (R.fmt_pct 0.395);
+  Alcotest.(check string) "ms" "1.23 ms" (R.fmt_ms 1.234)
+
+let suite =
+  [
+    Alcotest.test_case "dataset deterministic" `Quick test_dataset_deterministic;
+    Alcotest.test_case "dual captures" `Quick test_dataset_dual_captures;
+    Alcotest.test_case "dataset mappings" `Quick test_dataset_mappings;
+    Alcotest.test_case "reports well-formed" `Slow test_reports_well_formed;
+    Alcotest.test_case "E2 overhead shape" `Quick test_e2_overhead_shape;
+    Alcotest.test_case "E4 opaque advantage" `Slow test_e4_provenance_beats_baseline_on_opaque;
+    Alcotest.test_case "E1 scales with days" `Slow test_e1_scale_scales_with_days;
+    Alcotest.test_case "report printing" `Quick test_report_print_does_not_raise;
+    Alcotest.test_case "report formatters" `Quick test_report_formatters;
+  ]

@@ -1,0 +1,34 @@
+(* Aggregated test runner: one suite per module area, run with
+   `dune runtest`. *)
+
+let () =
+  Alcotest.run "browser_provenance"
+    [
+      ("util.prng", Test_prng.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.strutil", Test_strutil.suite);
+      ("util.zipf", Test_zipf.suite);
+      ("util.table_fmt", Test_table_fmt.suite);
+      ("relstore.codec", Test_relstore_codec.suite);
+      ("relstore.table", Test_relstore_table.suite);
+      ("relstore.query", Test_relstore_query.suite);
+      ("relstore.model", Test_relstore_model.suite);
+      ("relstore.sql", Test_relstore_sql.suite);
+      ("textindex", Test_textindex.suite);
+      ("graph.digraph", Test_digraph.suite);
+      ("graph.algorithms", Test_graph_algorithms.suite);
+      ("webmodel", Test_webmodel.suite);
+      ("browser", Test_browser.suite);
+      ("browser.places_queries", Test_places_queries.suite);
+      ("browser.event_codec", Test_event_codec.suite);
+      ("core.store", Test_core_store.suite);
+      ("core.capture", Test_core_capture.suite);
+      ("core.schema", Test_core_schema.suite);
+      ("core.queries", Test_core_queries.suite);
+      ("core.extensions", Test_core_extensions.suite);
+      ("core.prov_log", Test_prov_log.suite);
+      ("core.suggest", Test_suggest.suite);
+      ("core.sessions_dot", Test_sessions_dot.suite);
+      ("core.retention", Test_retention.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,45 @@
+module T = Provkit_util.Table_fmt
+
+let test_alignment_and_rule () =
+  let out = T.render ~header:[ "name"; "n" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  let lines = String.split_on_char '\n' out in
+  match lines with
+  | header :: rule :: row1 :: row2 :: _ ->
+    Alcotest.(check int) "uniform width" (String.length header) (String.length rule);
+    Alcotest.(check int) "rows padded" (String.length header) (String.length row1);
+    Alcotest.(check int) "rows padded 2" (String.length header) (String.length row2);
+    Alcotest.(check bool) "rule made of dashes" true
+      (String.for_all (fun c -> c = '-' || c = ' ') rule)
+  | _ -> Alcotest.fail "missing lines"
+
+let test_right_align () =
+  let out =
+    T.render ~aligns:[ T.Left; T.Right ] ~header:[ "k"; "value" ] [ [ "x"; "9" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  let row = List.nth lines 2 in
+  Alcotest.(check bool) "value right-aligned" true
+    (Provkit_util.Strutil.is_suffix ~suffix:"9" row)
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Table_fmt.render: ragged row")
+    (fun () -> ignore (T.render ~header:[ "a"; "b" ] [ [ "only-one" ] ]))
+
+let test_aligns_arity_rejected () =
+  Alcotest.check_raises "aligns arity"
+    (Invalid_argument "Table_fmt.render: aligns arity mismatch") (fun () ->
+      ignore (T.render ~aligns:[ T.Left ] ~header:[ "a"; "b" ] []))
+
+let test_empty_rows () =
+  let out = T.render ~header:[ "a" ] [] in
+  Alcotest.(check int) "header + rule only" 2
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' out)))
+
+let suite =
+  [
+    Alcotest.test_case "alignment and rule" `Quick test_alignment_and_rule;
+    Alcotest.test_case "right align" `Quick test_right_align;
+    Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+    Alcotest.test_case "aligns arity rejected" `Quick test_aligns_arity_rejected;
+    Alcotest.test_case "empty rows" `Quick test_empty_rows;
+  ]
