@@ -5,7 +5,7 @@
    plus the persistence path), all run against the standard 79-day
    dataset, reporting nanoseconds per run via OLS.
 
-   Part 2 — the experiment tables: every E1..E15 report from DESIGN.md's
+   Part 2 — the experiment tables: every E1..E16 report from DESIGN.md's
    experiment index, regenerated and printed (these are the numbers
    EXPERIMENTS.md quotes).
 
@@ -134,7 +134,7 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let run_experiments () =
-  print_endline "== paper experiment tables (E1..E15) ==";
+  print_endline "== paper experiment tables (E1..E16) ==";
   List.iter Harness.Report.print (Harness.Experiments.run_all ~quick ~seed ())
 
 let () =

@@ -11,6 +11,7 @@
      sessions     gap-based session segmentation
      tree         the Ayers-Stasko navigation forest
      sql          ad-hoc SQL over any saved database
+     wal          segmented write-ahead journal + crash/corruption injection
      experiments  regenerate every paper experiment table *)
 
 open Cmdliner
@@ -383,6 +384,99 @@ let expire_cmd =
        ~doc:"Provenance-preserving history expiration (old visits become page summaries)")
     Term.(const expire $ db_arg $ cutoff_arg $ expire_out_arg)
 
+(* --- wal --------------------------------------------------------------- *)
+
+(* Record simulated browsing into a segmented, checksummed WAL, then
+   (optionally) hurt the active segment the way a crashing machine
+   would, and report what recovery salvages. *)
+let wal days seed dir max_segment_bytes compact_every fault_spec =
+  let fault =
+    match fault_spec with
+    | None -> None
+    | Some spec -> begin
+      match Provkit_util.Faulty_io.parse_fault spec with
+      | Some f -> Some f
+      | None ->
+        Printf.eprintf
+          "bad --inject-fault %S (want crash@N, tear@N, flip@N or dup-flush)\n" spec;
+        exit 2
+    end
+  in
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+  let handle =
+    Core.Prov_log.Segmented.open_ ~config:{ Core.Prov_log.Segmented.max_segment_bytes } dir
+  in
+  let capture, feed = Core.Capture.observer () in
+  let store = Core.Capture.store capture in
+  Core.Prov_log.Segmented.attach handle store;
+  List.iteri
+    (fun i event ->
+      feed event;
+      match compact_every with
+      | Some n when n > 0 && (i + 1) mod n = 0 -> Core.Prov_log.Segmented.compact handle store
+      | _ -> ())
+    events;
+  (match fault with
+  | None -> ()
+  | Some f ->
+    Printf.printf "injecting fault on active segment: %s\n"
+      (Provkit_util.Faulty_io.fault_to_string f);
+    Provkit_util.Faulty_io.arm (Core.Prov_log.Segmented.active_sink handle) [ f ]);
+  Core.Prov_log.Segmented.close handle;
+  Printf.printf "logged %d events as %d ops into %s (generation %d, %d live segments)\n"
+    (List.length events)
+    (Core.Prov_log.Segmented.appended handle)
+    dir
+    (Core.Prov_log.Segmented.generation handle)
+    (List.length (Core.Prov_log.Segmented.segments handle));
+  let r = Core.Prov_log.Segmented.recover ~dir in
+  let rs = r.Core.Prov_log.Segmented.store in
+  Printf.printf "recovery: %d tail ops over %d segments%s\n"
+    r.Core.Prov_log.Segmented.ops_applied r.Core.Prov_log.Segmented.segments_read
+    (if r.Core.Prov_log.Segmented.truncated then " (stopped at a damaged frame)" else " (clean)");
+  Printf.printf "live store:      %d nodes, %d edges\n"
+    (Core.Prov_store.node_count store) (Core.Prov_store.edge_count store);
+  Printf.printf "recovered store: %d nodes, %d edges\n"
+    (Core.Prov_store.node_count rs) (Core.Prov_store.edge_count rs)
+
+let dir_arg =
+  Arg.(
+    value & opt string "wal.d"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"WAL directory (created if missing).")
+
+let max_segment_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "max-segment-bytes" ] ~docv:"BYTES" ~doc:"Rotate segments beyond this size.")
+
+let compact_every_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "compact-every" ] ~docv:"N" ~doc:"Compact the WAL after every N events.")
+
+let fault_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "inject-fault" ] ~docv:"SPEC"
+        ~doc:
+          "Hurt the active segment before recovery: crash@N (drop bytes past N), tear@N \
+           (truncate the final write to N bytes), flip@N (complement the byte at offset N), \
+           dup-flush (replay the unsynced tail).")
+
+let wal_cmd =
+  Cmd.v
+    (Cmd.info "wal"
+       ~doc:"Write browsing into a segmented checksummed journal, optionally inject a fault, \
+             and measure recovery")
+    Term.(
+      const wal $ days_arg $ seed_arg $ dir_arg $ max_segment_arg $ compact_every_arg
+      $ fault_arg)
+
 (* --- experiments ----------------------------------------------------- *)
 
 let experiments seed quick =
@@ -404,5 +498,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; replay_cmd; stats_cmd; search_cmd; time_search_cmd; lineage_cmd;
-            tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; experiments_cmd;
+            tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
+            experiments_cmd;
           ]))

@@ -1,7 +1,16 @@
 module V = Relstore.Varint
 module C = Relstore.Codec
 
-let magic = "BROWSEVT1"
+(* v1: bare event encodings after the magic.  v2 frames every event
+   with a length prefix and CRC-32 (Relstore.Codec.write_frame) so a
+   damaged byte anywhere ends the readable prefix instead of silently
+   garbling the rest of the trace.  Both load; we always write v2. *)
+let magic_v1 = "BROWSEVT1"
+let magic_v2 = "BROWSEVT2"
+
+let format_version s =
+  let probe m = String.length s >= String.length m && String.sub s 0 (String.length m) = m in
+  if probe magic_v2 then Some 2 else if probe magic_v1 then Some 1 else None
 
 let write_opt_int buf = function
   | None -> Buffer.add_char buf '\000'
@@ -153,20 +162,44 @@ let decode_event s pos : Event.t =
 
 let to_bytes events =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
+  let scratch = Buffer.create 128 in
+  Buffer.add_string buf magic_v2;
+  List.iter
+    (fun event ->
+      Buffer.clear scratch;
+      encode_event scratch event;
+      C.write_frame buf (Buffer.contents scratch))
+    events;
+  Buffer.contents buf
+
+let to_bytes_v1 events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v1;
   List.iter (encode_event buf) events;
   Buffer.contents buf
 
 let of_bytes ?(tolerate_truncation = true) s =
-  let lm = String.length magic in
-  if String.length s < lm || String.sub s 0 lm <> magic then
-    Relstore.Errors.corrupt "event log: bad magic";
-  let pos = ref lm in
+  let decode_one_v2 s pos =
+    let payload = C.read_frame s pos in
+    let p = ref 0 in
+    let event = decode_event payload p in
+    if !p <> String.length payload then
+      Relstore.Errors.corrupt "event log: %d trailing bytes inside frame"
+        (String.length payload - !p);
+    event
+  in
+  let decode_one =
+    match format_version s with
+    | Some 2 -> decode_one_v2
+    | Some 1 -> decode_event
+    | _ -> Relstore.Errors.corrupt "event log: bad magic"
+  in
+  let pos = ref 9 (* both magics are 9 bytes *) in
   let events = ref [] in
   (try
      while !pos < String.length s do
        let start = !pos in
-       match decode_event s pos with
+       match decode_one s pos with
        | event -> events := event :: !events
        | exception Relstore.Errors.Corrupt _ when tolerate_truncation ->
          pos := start;

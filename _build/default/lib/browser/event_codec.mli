@@ -4,16 +4,28 @@
     consumers is how the ablation experiments compare captures on
     identical browsing; this codec makes such traces portable files.
     The format is deterministic and self-delimiting; decoding tolerates
-    a truncated tail (crash semantics identical to {!Core.Prov_log}). *)
+    a damaged tail (crash semantics identical to {!Core.Prov_log}).
+    Storage format v2 checksums every event frame (CRC-32) so that a
+    flipped byte or torn write anywhere is detected and decoding stops
+    at the last verified event; v1 traces still load. *)
 
 val encode_event : Buffer.t -> Event.t -> unit
 val decode_event : string -> int ref -> Event.t
 (** Raises {!Relstore.Errors.Corrupt} on malformed input. *)
 
+val format_version : string -> int option
+(** [Some 1] / [Some 2] from the magic, [None] otherwise. *)
+
 val to_bytes : Event.t list -> string
+(** The v2 (framed, checksummed) image. *)
+
+val to_bytes_v1 : Event.t list -> string
+(** The legacy unframed image, kept for overhead measurement and the
+    compatibility tests. *)
+
 val of_bytes : ?tolerate_truncation:bool -> string -> Event.t list
-(** [tolerate_truncation] defaults to true: a partial final record is
-    dropped rather than raising. *)
+(** Accepts v1 and v2. [tolerate_truncation] defaults to true: the scan
+    ends cleanly at the first record that fails verification. *)
 
 val save : path:string -> Event.t list -> unit
 val load : path:string -> Event.t list

@@ -1,1 +1,1 @@
-lib/core/prov_log.ml: Browser Buffer Char Fun List Prov_edge Prov_node Prov_schema Prov_store Relstore String
+lib/core/prov_log.ml: Browser Buffer Char Filename Fun List Option Printf Prov_edge Prov_node Prov_schema Prov_store Provkit_util Relstore Scanf String Sys

@@ -1,1 +1,1 @@
-lib/core/prov_log.mli: Buffer Prov_edge Prov_node Prov_store Relstore
+lib/core/prov_log.mli: Buffer Prov_edge Prov_node Prov_store Provkit_util Relstore

@@ -128,42 +128,77 @@ let decode_op s pos =
 
 (* --- journal --- *)
 
-let magic = "PROVLOG1"
+(* Format v1 (legacy): magic followed by bare op encodings.  A bit flip
+   mid-file silently garbles every later record; only a truncated tail
+   is detectable.  Format v2 frames each record as
+   [varint length][CRC-32][payload] so corruption *anywhere* is caught
+   and recovery stops at the last verified prefix. *)
+let magic_v1 = "PROVLOG1"
+let magic_v2 = "PROVLOG2"
 
-type t = { buf : Buffer.t; mutable count : int }
+let format_version s =
+  let probe m = String.length s >= String.length m && String.sub s 0 (String.length m) = m in
+  if probe magic_v2 then Some 2 else if probe magic_v1 then Some 1 else None
+
+type t = { buf : Buffer.t; scratch : Buffer.t; mutable count : int }
 
 let create () =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  { buf; count = 0 }
+  Buffer.add_string buf magic_v2;
+  { buf; scratch = Buffer.create 128; count = 0 }
+
+let encode_framed_op scratch op =
+  Buffer.clear scratch;
+  encode_op scratch op;
+  Buffer.contents scratch
 
 let append t op =
-  encode_op t.buf op;
+  C.write_frame t.buf (encode_framed_op t.scratch op);
   t.count <- t.count + 1
 
 let length t = t.count
 let byte_size t = Buffer.length t.buf
 let to_bytes t = Buffer.contents t.buf
 
-let decode_all ~tolerate_truncation s =
-  let lm = String.length magic in
-  if String.length s < lm || String.sub s 0 lm <> magic then
-    Relstore.Errors.corrupt "prov_log: bad magic";
-  let pos = ref lm in
+(* Decode every record of a journal image (either format).  Returns the
+   ops and whether the whole image was consumed cleanly; in tolerant
+   mode a bad record ends the scan (the crash-recovery prefix), in
+   strict mode it raises. *)
+let decode_prefix ~tolerate_truncation s =
+  let decode_one_v2 s pos =
+    let payload = C.read_frame s pos in
+    let p = ref 0 in
+    let op = decode_op payload p in
+    if !p <> String.length payload then
+      Relstore.Errors.corrupt "prov_log: %d trailing bytes inside frame"
+        (String.length payload - !p);
+    op
+  in
+  let decode_one =
+    match format_version s with
+    | Some 2 -> decode_one_v2
+    | Some 1 -> decode_op
+    | _ -> Relstore.Errors.corrupt "prov_log: bad magic"
+  in
+  let pos = ref 8 (* both magics are 8 bytes *) in
   let ops = ref [] in
+  let clean = ref true in
   (try
      while !pos < String.length s do
-       (* Remember where this record started: a truncated tail decodes
+       (* Remember where this record started: a damaged record decodes
           partially and must be discarded wholesale. *)
        let start = !pos in
-       match decode_op s pos with
+       match decode_one s pos with
        | op -> ops := op :: !ops
        | exception Relstore.Errors.Corrupt _ when tolerate_truncation ->
          pos := start;
+         clean := false;
          raise Exit
      done
    with Exit -> ());
-  List.rev !ops
+  (List.rev !ops, !clean)
+
+let decode_all ~tolerate_truncation s = fst (decode_prefix ~tolerate_truncation s)
 
 let of_bytes ?(tolerate_truncation = true) s =
   let t = create () in
@@ -172,30 +207,36 @@ let of_bytes ?(tolerate_truncation = true) s =
 
 let ops t = decode_all ~tolerate_truncation:false (to_bytes t)
 
+let to_bytes_v1 t =
+  let buf = Buffer.create (byte_size t) in
+  Buffer.add_string buf magic_v1;
+  List.iter (encode_op buf) (ops t);
+  Buffer.contents buf
+
+let op_of_mutation = function
+  | Prov_store.M_node n -> Add_node n
+  | Prov_store.M_edge (src, dst, edge) -> Add_edge { src; dst; edge }
+  | Prov_store.M_close (id, time) -> Close_node { id; time }
+
+let apply_op store op =
+  match op with
+  | Add_node n -> Prov_store.restore_node store n
+  | Add_edge { src; dst; edge } -> Prov_store.restore_edge store ~src ~dst edge
+  | Close_node { id; time } -> begin
+    match Prov_store.node_opt store id with
+    | Some n -> Prov_store.restore_node store { n with Prov_node.close_time = Some time }
+    | None -> ()
+  end
+
 let recording_store () =
   let store = Prov_store.create () in
   let journal = create () in
-  Prov_store.set_observer store (fun m ->
-      append journal
-        (match m with
-        | Prov_store.M_node n -> Add_node n
-        | Prov_store.M_edge (src, dst, edge) -> Add_edge { src; dst; edge }
-        | Prov_store.M_close (id, time) -> Close_node { id; time }));
+  Prov_store.set_observer store (fun m -> append journal (op_of_mutation m));
   (store, journal)
 
 let replay t =
   let store = Prov_store.create () in
-  List.iter
-    (fun op ->
-      match op with
-      | Add_node n -> Prov_store.restore_node store n
-      | Add_edge { src; dst; edge } -> Prov_store.restore_edge store ~src ~dst edge
-      | Close_node { id; time } -> begin
-        match Prov_store.node_opt store id with
-        | Some n -> Prov_store.restore_node store { n with Prov_node.close_time = Some time }
-        | None -> ()
-      end)
-    (ops t);
+  List.iter (apply_op store) (ops t);
   store
 
 let save t ~path =
@@ -211,3 +252,245 @@ let load ~path =
       of_bytes (really_input_string ic len))
 
 let compact store = (Prov_schema.to_database store, create ())
+
+(* --- segmented write-ahead log --- *)
+
+module Segmented = struct
+  module Fio = Provkit_util.Faulty_io
+
+  type config = { max_segment_bytes : int }
+
+  let default_config = { max_segment_bytes = 256 * 1024 }
+
+  let manifest_magic = "PROVMAN1"
+  let snapshot_magic = "PROVSNP1"
+  let manifest_file = "MANIFEST"
+
+  type manifest = {
+    generation : int;
+    snapshot : string option;  (* file holding the compacted base image *)
+    segments : string list;  (* live tail segments, oldest first *)
+  }
+
+  let encode_manifest m =
+    let buf = Buffer.create 128 in
+    V.write_unsigned buf m.generation;
+    (match m.snapshot with
+    | None -> Buffer.add_char buf '\000'
+    | Some f ->
+      Buffer.add_char buf '\001';
+      C.write_string buf f);
+    V.write_unsigned buf (List.length m.segments);
+    List.iter (C.write_string buf) m.segments;
+    Buffer.contents buf
+
+  let decode_manifest s =
+    let lm = String.length manifest_magic in
+    if String.length s < lm || String.sub s 0 lm <> manifest_magic then
+      Relstore.Errors.corrupt "wal: bad manifest magic";
+    let pos = ref lm in
+    let payload = C.read_frame s pos in
+    let p = ref 0 in
+    let generation = V.read_unsigned payload p in
+    let snapshot =
+      if !p >= String.length payload then Relstore.Errors.corrupt "wal: truncated manifest"
+      else begin
+        let tag = payload.[!p] in
+        incr p;
+        match tag with
+        | '\000' -> None
+        | '\001' -> Some (C.read_string payload p)
+        | _ -> Relstore.Errors.corrupt "wal: bad manifest snapshot tag"
+      end
+    in
+    let n = C.read_count payload p in
+    let segments = List.init n (fun _ -> C.read_string payload p) in
+    { generation; snapshot; segments }
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  (* The manifest is tiny and names the live files, so it is replaced
+     atomically (write-then-rename): a crash leaves either the old or
+     the new manifest, never a torn one. *)
+  let write_manifest ~dir m =
+    let buf = Buffer.create 160 in
+    Buffer.add_string buf manifest_magic;
+    C.write_frame buf (encode_manifest m);
+    let tmp = Filename.concat dir (manifest_file ^ ".tmp") in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+    Sys.rename tmp (Filename.concat dir manifest_file)
+
+  type handle = {
+    dir : string;
+    config : config;
+    make_sink : string -> Fio.sink;
+    mutable manifest : manifest;
+    mutable active : Fio.sink;
+    mutable active_bytes : int;
+    mutable next_index : int;
+    mutable appended : int;
+    scratch : Buffer.t;
+  }
+
+  let segment_file i = Printf.sprintf "segment-%06d.log" i
+  let snapshot_file gen = Printf.sprintf "snapshot-%06d.db" gen
+
+  let start_segment h =
+    let name = segment_file h.next_index in
+    h.next_index <- h.next_index + 1;
+    let sink = h.make_sink (Filename.concat h.dir name) in
+    Fio.write sink magic_v2;
+    Fio.flush sink;
+    h.active <- sink;
+    h.active_bytes <- String.length magic_v2;
+    (* Segment file exists before the manifest names it. *)
+    h.manifest <- { h.manifest with segments = h.manifest.segments @ [ name ] };
+    write_manifest ~dir:h.dir h.manifest
+
+  let load_manifest dir =
+    let path = Filename.concat dir manifest_file in
+    if Sys.file_exists path then decode_manifest (read_file path)
+    else { generation = 0; snapshot = None; segments = [] }
+
+  let next_index_of manifest =
+    (* Segment names are zero-padded, so the successor of the last name
+       is recoverable by parsing its digits. *)
+    List.fold_left
+      (fun acc name ->
+        match Scanf.sscanf_opt name "segment-%d.log" (fun i -> i) with
+        | Some i -> max acc (i + 1)
+        | None -> acc)
+      0 manifest.segments
+
+  let open_ ?(config = default_config) ?(make_sink = fun path -> Fio.to_file path) dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let manifest = load_manifest dir in
+    let h =
+      {
+        dir;
+        config;
+        make_sink;
+        manifest;
+        active = Fio.to_buffer (Buffer.create 1);
+        active_bytes = 0;
+        next_index = next_index_of manifest;
+        appended = 0;
+        scratch = Buffer.create 128;
+      }
+    in
+    (* Never append to a recovered segment: its tail may be torn, and
+       bytes after a torn frame are unreachable to recovery.  A fresh
+       segment keeps every new record behind a verified prefix. *)
+    start_segment h;
+    h
+
+  let active_sink h = h.active
+  let segments h = h.manifest.segments
+  let generation h = h.manifest.generation
+  let appended h = h.appended
+
+  let rotate h =
+    Fio.close h.active;
+    start_segment h
+
+  let append h op =
+    let frame = Buffer.create 160 in
+    C.write_frame frame (encode_framed_op h.scratch op);
+    Fio.write h.active (Buffer.contents frame);
+    Fio.flush h.active;
+    h.active_bytes <- h.active_bytes + Buffer.length frame;
+    h.appended <- h.appended + 1;
+    if h.active_bytes >= h.config.max_segment_bytes then rotate h
+
+  let attach h store = Prov_store.set_observer store (fun m -> append h (op_of_mutation m))
+
+  let write_snapshot h store =
+    let name = snapshot_file (h.manifest.generation + 1) in
+    let sink = h.make_sink (Filename.concat h.dir name) in
+    Fio.write sink snapshot_magic;
+    let buf = Buffer.create 4096 in
+    C.write_frame buf (Relstore.Database.to_bytes (Prov_schema.to_database store));
+    Fio.write sink (Buffer.contents buf);
+    Fio.close sink;
+    name
+
+  (* Compaction: persist the live store as a checksummed snapshot, then
+     truncate the tail — old segments (and the previous snapshot) are
+     dropped and appending continues into a fresh, empty segment. *)
+  let compact h store =
+    let old = h.manifest in
+    let snap = write_snapshot h store in
+    Fio.close h.active;
+    h.manifest <-
+      { generation = old.generation + 1; snapshot = Some snap; segments = [] };
+    start_segment h;
+    let remove name =
+      let path = Filename.concat h.dir name in
+      if Sys.file_exists path then Sys.remove path
+    in
+    List.iter remove old.segments;
+    Option.iter remove old.snapshot
+
+  let close h = Fio.close h.active
+
+  type recovery = {
+    store : Prov_store.t;
+    ops_applied : int;
+    segments_read : int;
+    truncated : bool;
+  }
+
+  let read_snapshot path =
+    let s = read_file path in
+    let lm = String.length snapshot_magic in
+    if String.length s < lm || String.sub s 0 lm <> snapshot_magic then
+      Relstore.Errors.corrupt "wal: bad snapshot magic";
+    let pos = ref lm in
+    Prov_schema.of_database (Relstore.Database.of_bytes (C.read_frame s pos))
+
+  let recover ~dir =
+    let manifest = load_manifest dir in
+    let store =
+      match manifest.snapshot with
+      | None -> Prov_store.create ()
+      | Some f -> read_snapshot (Filename.concat dir f)
+    in
+    let ops_applied = ref 0 in
+    let segments_read = ref 0 in
+    let truncated = ref false in
+    (* Replay stops at the first unverifiable frame — even in an early
+       segment — so the recovered store is always an op-sequence prefix
+       of what was logged; nothing after a damaged record is trusted. *)
+    (try
+       List.iter
+         (fun name ->
+           let path = Filename.concat dir name in
+           if not (Sys.file_exists path) then begin
+             truncated := true;
+             raise Exit
+           end;
+           let ops, clean =
+             (* A segment whose header itself is damaged contributes
+                nothing; recovery ends at the previous segment. *)
+             try decode_prefix ~tolerate_truncation:true (read_file path)
+             with Relstore.Errors.Corrupt _ -> ([], false)
+           in
+           incr segments_read;
+           List.iter
+             (fun op ->
+               apply_op store op;
+               incr ops_applied)
+             ops;
+           if not clean then begin
+             truncated := true;
+             raise Exit
+           end)
+         manifest.segments
+     with Exit -> ());
+    { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated }
+end

@@ -1,1 +1,1 @@
-lib/harness/experiments.ml: Array Browser Core Dataset Fun Hashtbl Int List Option Printf Provgraph Provkit_util Queue Relstore Report String Textindex Webmodel
+lib/harness/experiments.ml: Array Browser Char Core Dataset Fun Hashtbl Int List Option Printf Provgraph Provkit_util Queue Relstore Report String Textindex Webmodel

@@ -917,6 +917,119 @@ let e14_incremental_persistence (ds : Dataset.t) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* E16: durability under crashes and corruption                         *)
+(* ------------------------------------------------------------------ *)
+
+(* E14 shows the journal is cheap; this experiment shows it is *safe*:
+   what does v2 framing cost over v1, and what does recovery salvage
+   when the file is cut at an arbitrary byte or a byte is flipped? *)
+
+let is_op_prefix prefix full =
+  let rec go p f =
+    match (p, f) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: p', y :: f' -> x = y && go p' f'
+  in
+  go prefix full
+
+let e16_crash_recovery ?(crash_points = 400) ?(flip_points = 400) (ds : Dataset.t) =
+  let capture, feed = Core.Capture.observer () in
+  let journal = Core.Prov_log.create () in
+  Core.Prov_store.set_observer (Core.Capture.store capture) (fun m ->
+      Core.Prov_log.append journal (Core.Prov_log.op_of_mutation m));
+  let events = Browser.Engine.event_log ds.Dataset.engine in
+  List.iter feed events;
+  let full_ops = Core.Prov_log.ops journal in
+  let n_ops = List.length full_ops in
+  let v2 = Core.Prov_log.to_bytes journal in
+  let v1 = Core.Prov_log.to_bytes_v1 journal in
+  let v2_len = String.length v2 and v1_len = String.length v1 in
+  let overhead = (float_of_int v2_len /. float_of_int (max 1 v1_len)) -. 1.0 in
+  let rng = Prng.create (ds.Dataset.seed + 16) in
+  (* Crash sweep: cut the image at an arbitrary byte; the recovered op
+     sequence must be a prefix of what was logged. *)
+  let crash_consistent = ref 0 and ops_lost = ref [] in
+  let crash_ms =
+    List.map
+      (fun cut ->
+        let img = String.sub v2 0 cut in
+        let recovered, ms =
+          Timing.time_ms (fun () -> try Some (Core.Prov_log.of_bytes img) with _ -> None)
+        in
+        (match recovered with
+        | Some r ->
+          let rops = Core.Prov_log.ops r in
+          if is_op_prefix rops full_ops then incr crash_consistent;
+          ops_lost := float_of_int (n_ops - List.length rops) :: !ops_lost
+        | None -> ());
+        ms)
+      (List.init crash_points (fun _ -> Prng.int rng (String.length v2 + 1)))
+  in
+  (* Flip sweep: complement one byte inside the framed region; v2 must
+     either raise Corrupt or recover a strict prefix (detection = the
+     damage never goes unnoticed). *)
+  let flips_detected = ref 0 in
+  List.iter
+    (fun k ->
+      let img = String.mapi (fun i c -> if i = k then Char.chr (Char.code c lxor 0xFF) else c) v2 in
+      match Core.Prov_log.of_bytes img with
+      | recovered ->
+        let rops = Core.Prov_log.ops recovered in
+        if List.length rops < n_ops && is_op_prefix rops full_ops then incr flips_detected
+      | exception Relstore.Errors.Corrupt _ -> incr flips_detected)
+    (List.init flip_points (fun _ -> Prng.int rng (String.length v2)));
+  let lost = !ops_lost in
+  {
+    Report.id = "E16-crash-recovery";
+    title = "Checksummed framing (v2): overhead, crash sweep, corruption detection";
+    paper_claim =
+      "\"We have implemented a model browser provenance schema ... as a SQLite relational database\" (S4) - durability of the incremental path is assumed; here it is tested";
+    header = [ "metric"; "value" ];
+    rows =
+      [
+        [ "journal operations"; fmt_int n_ops ];
+        [ "v1 (unframed) size"; Report.fmt_bytes v1_len ];
+        [ "v2 (framed) size"; Report.fmt_bytes v2_len ];
+        [
+          "bytes per op (v1 -> v2)";
+          Printf.sprintf "%.1f -> %.1f"
+            (float_of_int v1_len /. float_of_int (max 1 n_ops))
+            (float_of_int v2_len /. float_of_int (max 1 n_ops));
+        ];
+        [ "v2 framing overhead"; Report.fmt_pct overhead ];
+        [ "crash points tried"; fmt_int crash_points ];
+        [
+          "recovered prefix consistent";
+          Report.fmt_pct (float_of_int !crash_consistent /. float_of_int (max 1 crash_points));
+        ];
+        [
+          "ops lost at a random crash";
+          (match lost with
+          | [] -> "-"
+          | _ ->
+            let s = Stats.summarize lost in
+            Printf.sprintf "mean %.1f / p90 %.0f / max %.0f of %d" s.Stats.mean s.Stats.p90
+              s.Stats.max n_ops);
+        ];
+        [
+          "recovery time (full image prefix)";
+          (match crash_ms with [] -> "-" | _ -> Report.fmt_ms (Stats.percentile 50.0 crash_ms));
+        ];
+        [ "single-byte flips tried"; fmt_int flip_points ];
+        [
+          "flips detected";
+          Report.fmt_pct (float_of_int !flips_detected /. float_of_int (max 1 flip_points));
+        ];
+      ];
+    notes =
+      [
+        "detection = decoding raises Corrupt or stops cleanly at the last verified frame (never a garbled suffix applied)";
+        "v1 can only detect a truncated tail; a mid-file flip silently corrupts every later record";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* E15: heterogeneous joins vs the homogeneous graph (S3.3)             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1056,4 +1169,6 @@ let run_all ?(quick = false) ~seed () =
     e13_history_tree ds;
     e14_incremental_persistence ds;
     e15_heterogeneous_joins ds;
+    e16_crash_recovery ~crash_points:(if quick then 60 else 400)
+      ~flip_points:(if quick then 60 else 400) ds;
   ]

@@ -1,1 +1,1 @@
-lib/relstore/codec.ml: Array Buffer Bytes Char Errors Int64 String Value Varint
+lib/relstore/codec.ml: Array Buffer Bytes Char Errors Int64 Provkit_util String Value Varint

@@ -37,20 +37,32 @@ let to_bytes t =
   List.iter (fun tbl -> Table.serialize buf tbl) tbls;
   Buffer.contents buf
 
+(* Deserialization is a trust boundary: damaged bytes may decode into
+   *structurally* invalid content (duplicate columns, rows violating the
+   schema, indexes on unknown columns) whose constructors raise their
+   own exceptions.  Surface every such failure as [Corrupt] so callers
+   need handle exactly one exception for "this file is bad". *)
 let of_bytes s =
-  let pos = ref 0 in
-  let lm = String.length magic in
-  if String.length s < lm || String.sub s 0 lm <> magic then
-    Errors.corrupt "database: bad magic";
-  pos := lm;
-  let dbname = Codec.read_string s pos in
-  let n = Varint.read_unsigned s pos in
-  let db = create ~name:dbname in
-  for _ = 1 to n do
-    let tbl = Table.deserialize s pos in
-    Hashtbl.replace db.tables (Table.name tbl) tbl
-  done;
-  db
+  try
+    let pos = ref 0 in
+    let lm = String.length magic in
+    if String.length s < lm || String.sub s 0 lm <> magic then
+      Errors.corrupt "database: bad magic";
+    pos := lm;
+    let dbname = Codec.read_string s pos in
+    let n = Codec.read_count s pos in
+    let db = create ~name:dbname in
+    for _ = 1 to n do
+      let tbl = Table.deserialize s pos in
+      Hashtbl.replace db.tables (Table.name tbl) tbl
+    done;
+    db
+  with
+  | Errors.Corrupt _ as e -> raise e
+  | Errors.Type_mismatch m | Errors.Constraint_violation m ->
+    Errors.corrupt "database: invalid content: %s" m
+  | Errors.No_such_column m -> Errors.corrupt "database: index on unknown column %s" m
+  | Invalid_argument m | Failure m -> Errors.corrupt "database: malformed image: %s" m
 
 let save t ~path =
   let oc = open_out_bin path in

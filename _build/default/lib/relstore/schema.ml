@@ -70,7 +70,7 @@ let serialize buf t =
 
 let deserialize s pos =
   let name = Codec.read_string s pos in
-  let n = Varint.read_unsigned s pos in
+  let n = Codec.read_count s pos in
   let cols =
     List.init n (fun _ ->
         let cname = Codec.read_string s pos in

@@ -126,7 +126,7 @@ let serialize buf t =
 let deserialize s pos =
   let schema = Schema.deserialize s pos in
   let next_id = Varint.read_unsigned s pos in
-  let n = Varint.read_unsigned s pos in
+  let n = Codec.read_count s pos in
   let t = create schema in
   for _ = 1 to n do
     let rowid = Varint.read_unsigned s pos in
@@ -135,7 +135,7 @@ let deserialize s pos =
     Hashtbl.replace t.rows rowid row
   done;
   t.next_id <- next_id;
-  let nidx = Varint.read_unsigned s pos in
+  let nidx = Codec.read_count s pos in
   for _ = 1 to nidx do
     let iname = Codec.read_string s pos in
     let unique =
@@ -146,7 +146,7 @@ let deserialize s pos =
         c = '\001'
       end
     in
-    let ncols = Varint.read_unsigned s pos in
+    let ncols = Codec.read_count s pos in
     let columns = List.init ncols (fun _ -> Codec.read_string s pos) in
     add_index ~unique t ~name:iname ~columns
   done;

@@ -26,6 +26,10 @@ let read_unsigned s pos =
   let len = String.length s in
   let rec go shift acc =
     if !pos >= len then Errors.corrupt "varint: truncated at %d" !pos
+    else if shift > 56 then
+      (* A valid encoding covers the 63-bit pattern in at most 9 groups;
+         a longer run of continuation bits is corruption, not data. *)
+      Errors.corrupt "varint: overlong encoding at %d" !pos
     else begin
       let b = Char.code s.[!pos] in
       incr pos;

@@ -1,0 +1,1 @@
+lib/util/faulty_io.ml: Buffer Char Fun List Printf String

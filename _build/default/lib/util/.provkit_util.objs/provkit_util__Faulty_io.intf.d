@@ -1,0 +1,1 @@
+lib/util/faulty_io.mli: Buffer

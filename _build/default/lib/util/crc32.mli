@@ -1,0 +1,21 @@
+(** Pure-OCaml CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial).
+
+    Used by the storage layer to checksum every journal frame so that
+    corruption anywhere in a file — not just a truncated tail — is
+    detected during recovery.  Checksums are plain ints in
+    \[0, 2{^32}). *)
+
+val digest : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 of a substring (default: the whole string).  The canonical
+    check value: [digest "123456789" = 0xCBF43926]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum, so
+    [update (digest a) b 0 (String.length b) = digest (a ^ b)]. *)
+
+val to_le_bytes : int -> string
+(** Four little-endian bytes, the on-disk form. *)
+
+val of_le_bytes : string -> int -> int
+(** Read four little-endian bytes at an offset.  Raises
+    [Invalid_argument] if fewer than four bytes remain. *)

@@ -1,0 +1,134 @@
+type fault =
+  | Crash_after_bytes of int
+  | Torn_final_write of int
+  | Flip_byte of int
+  | Duplicate_flush
+
+type dest = To_file of string | To_buffer of Buffer.t
+
+type sink = {
+  dest : dest;
+  mutable faults : fault list;
+  (* Write/flush calls in order (kept reversed); the byte image is
+     materialized from this record so write-granular faults (torn final
+     write, duplicated flush buffer) stay expressible. *)
+  mutable ops : [ `Write of string | `Flush ] list;
+  mutable closed : bool;
+}
+
+let create ?(faults = []) dest = { dest; faults; ops = []; closed = false }
+let to_file ?faults path = create ?faults (To_file path)
+let to_buffer ?faults buf = create ?faults (To_buffer buf)
+let arm t faults = t.faults <- t.faults @ faults
+
+let fail_closed t op = if t.closed then invalid_arg ("Faulty_io." ^ op ^ ": sink is closed")
+
+(* Materialize the byte image the destination would hold.  Close-time
+   faults (torn final write, duplicated flush tail) only apply when
+   [closing]; a mid-stream flush persists the honest prefix. *)
+let image ?(closing = false) t =
+  let ops = List.rev t.ops in
+  let writes =
+    if closing then begin
+      match
+        List.fold_left
+          (fun k f -> match f with Torn_final_write n -> Some n | _ -> k)
+          None t.faults
+      with
+      | None -> ops
+      | Some keep ->
+        (* Truncate the final write call to its first [keep] bytes; on
+           the reversed op list the first `Write is the final one. *)
+        let rec tear_rev = function
+          | [] -> []
+          | `Write s :: rest -> `Write (String.sub s 0 (min keep (String.length s))) :: rest
+          | `Flush :: rest -> `Flush :: tear_rev rest
+        in
+        List.rev (tear_rev t.ops)
+    end
+    else ops
+  in
+  let buf = Buffer.create 1024 in
+  let since_flush = Buffer.create 256 in
+  List.iter
+    (fun op ->
+      match op with
+      | `Write s ->
+        Buffer.add_string buf s;
+        Buffer.add_string since_flush s
+      | `Flush -> Buffer.clear since_flush)
+    writes;
+  if closing && List.mem Duplicate_flush t.faults then
+    (* The unsynced tail is replayed once more, as if a buffered write
+       were issued twice around a confused flush. *)
+    Buffer.add_buffer buf since_flush;
+  let s = Buffer.contents buf in
+  let s =
+    List.fold_left
+      (fun s f ->
+        match f with
+        | Crash_after_bytes n when n < String.length s -> String.sub s 0 (max 0 n)
+        | _ -> s)
+      s t.faults
+  in
+  List.fold_left
+    (fun s f ->
+      match f with
+      | Flip_byte k when k >= 0 && k < String.length s ->
+        String.mapi (fun i c -> if i = k then Char.chr (Char.code c lxor 0xFF) else c) s
+      | _ -> s)
+    s t.faults
+
+let persist t s =
+  match t.dest with
+  | To_buffer buf ->
+    Buffer.clear buf;
+    Buffer.add_string buf s
+  | To_file path ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write t s =
+  fail_closed t "write";
+  t.ops <- `Write s :: t.ops
+
+let flush t =
+  fail_closed t "flush";
+  t.ops <- `Flush :: t.ops;
+  persist t (image t)
+
+let close t =
+  if not t.closed then begin
+    persist t (image ~closing:true t);
+    t.closed <- true
+  end
+
+let contents t = image ~closing:t.closed t
+
+let bytes_written t =
+  List.fold_left
+    (fun acc op -> match op with `Write s -> acc + String.length s | `Flush -> acc)
+    0 t.ops
+
+let parse_fault spec =
+  let at prefix =
+    let lp = String.length prefix in
+    if String.length spec > lp && String.sub spec 0 lp = prefix then
+      int_of_string_opt (String.sub spec lp (String.length spec - lp))
+    else None
+  in
+  match spec with
+  | "dup-flush" -> Some Duplicate_flush
+  | _ -> begin
+    match (at "crash@", at "tear@", at "flip@") with
+    | Some n, _, _ -> Some (Crash_after_bytes n)
+    | _, Some n, _ -> Some (Torn_final_write n)
+    | _, _, Some n -> Some (Flip_byte n)
+    | None, None, None -> None
+  end
+
+let fault_to_string = function
+  | Crash_after_bytes n -> Printf.sprintf "crash@%d" n
+  | Torn_final_write n -> Printf.sprintf "tear@%d" n
+  | Flip_byte n -> Printf.sprintf "flip@%d" n
+  | Duplicate_flush -> "dup-flush"

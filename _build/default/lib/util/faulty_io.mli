@@ -1,0 +1,53 @@
+(** Fault-injecting byte sinks for crash-recovery testing.
+
+    A {!sink} looks like a file opened for writing — {!write}, {!flush},
+    {!close} — but can be configured to corrupt the byte image the way
+    real storage stacks do under failure: die mid-stream, tear the final
+    write, flip a byte, or replay an unsynced buffer.  The durability
+    tests and [provctl wal --inject-fault] drive the journal through one
+    of these and then measure what recovery salvages. *)
+
+type fault =
+  | Crash_after_bytes of int
+      (** Everything past the first [n] bytes never reaches storage. *)
+  | Torn_final_write of int
+      (** The final [write] call persists only its first [n] bytes. *)
+  | Flip_byte of int
+      (** The byte at this offset is complemented (bit-level rot). *)
+  | Duplicate_flush
+      (** The bytes written since the last [flush] are emitted twice. *)
+
+type sink
+
+val to_file : ?faults:fault list -> string -> sink
+(** A sink whose image is persisted to a file on every {!flush} and on
+    {!close}. *)
+
+val to_buffer : ?faults:fault list -> Buffer.t -> sink
+(** A sink that materializes into a caller-owned buffer instead of the
+    filesystem (the buffer is overwritten on each flush/close). *)
+
+val arm : sink -> fault list -> unit
+(** Add faults to an open sink — lets a caller decide *after* writing
+    which file to hurt (e.g. the active WAL segment). *)
+
+val write : sink -> string -> unit
+val flush : sink -> unit
+(** Persist the current (fault-adjusted) prefix.  Close-time faults —
+    torn final write, duplicated flush tail — are not yet applied. *)
+
+val close : sink -> unit
+(** Apply close-time faults, persist the final image.  Idempotent. *)
+
+val contents : sink -> string
+(** The byte image the destination currently holds (final image once
+    closed). *)
+
+val bytes_written : sink -> int
+(** Total bytes offered by [write] calls, before any fault. *)
+
+val parse_fault : string -> fault option
+(** Command-line spec: ["crash@N"], ["tear@N"], ["flip@N"],
+    ["dup-flush"]. *)
+
+val fault_to_string : fault -> string

@@ -1,0 +1,1 @@
+test/test_codec_properties.ml: Alcotest Array Buffer Bytes Char Format Int64 List Provkit_util Relstore String Test_seed

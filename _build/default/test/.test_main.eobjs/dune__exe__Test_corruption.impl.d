@@ -1,0 +1,1 @@
+test/test_corruption.ml: Alcotest Browser Bytes Char Core List Printexc Printf Provkit_util Relstore String Test_seed

@@ -1,0 +1,1 @@
+test/test_crc32.ml: Alcotest Char Provkit_util String Test_seed

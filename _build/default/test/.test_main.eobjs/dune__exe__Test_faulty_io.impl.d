@@ -1,0 +1,1 @@
+test/test_faulty_io.ml: Alcotest Buffer Char Filename Fun Provkit_util String Sys

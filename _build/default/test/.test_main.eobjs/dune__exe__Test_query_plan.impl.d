@@ -1,0 +1,1 @@
+test/test_query_plan.ml: Alcotest Format List Printf Relstore

@@ -1,0 +1,1 @@
+test/test_seed.ml: Printf Provkit_util Sys

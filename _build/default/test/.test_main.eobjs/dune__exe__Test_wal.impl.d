@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Browser Core Core_fixtures Filename Fun List Printf Provkit_util Relstore String Sys Test_seed Webmodel

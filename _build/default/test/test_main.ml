@@ -9,11 +9,16 @@ let () =
       ("util.strutil", Test_strutil.suite);
       ("util.zipf", Test_zipf.suite);
       ("util.table_fmt", Test_table_fmt.suite);
+      ("util.crc32", Test_crc32.suite);
+      ("util.faulty_io", Test_faulty_io.suite);
       ("relstore.codec", Test_relstore_codec.suite);
+      ("relstore.codec_properties", Test_codec_properties.suite);
       ("relstore.table", Test_relstore_table.suite);
       ("relstore.query", Test_relstore_query.suite);
       ("relstore.model", Test_relstore_model.suite);
       ("relstore.sql", Test_relstore_sql.suite);
+      ("relstore.query_plan", Test_query_plan.suite);
+      ("relstore.corruption", Test_corruption.suite);
       ("textindex", Test_textindex.suite);
       ("graph.digraph", Test_digraph.suite);
       ("graph.algorithms", Test_graph_algorithms.suite);
@@ -27,6 +32,7 @@ let () =
       ("core.queries", Test_core_queries.suite);
       ("core.extensions", Test_core_extensions.suite);
       ("core.prov_log", Test_prov_log.suite);
+      ("core.wal", Test_wal.suite);
       ("core.suggest", Test_suggest.suite);
       ("core.sessions_dot", Test_sessions_dot.suite);
       ("core.retention", Test_retention.suite);

@@ -1,0 +1,113 @@
+(* Query_exec.plan_for across predicate shapes: which access path the
+   executor chooses, and that every path returns the same rows a naive
+   scan would. *)
+
+module Schema = Relstore.Schema
+module Column = Relstore.Column
+module Table = Relstore.Table
+module Value = Relstore.Value
+module P = Relstore.Predicate
+module Q = Relstore.Query_exec
+
+let fixture () =
+  let t =
+    Table.create
+      (Schema.make ~name:"visits"
+         [
+           Column.make "url" Value.Ttext;
+           Column.make "day" Value.Tint;
+           Column.make "tab" Value.Tint;
+         ])
+  in
+  Table.add_index t ~name:"by_url_day" ~columns:[ "url"; "day" ];
+  Table.add_index t ~name:"by_day" ~columns:[ "day" ];
+  for i = 1 to 60 do
+    ignore
+      (Table.insert_fields t
+         [
+           ("url", Value.Text (Printf.sprintf "http://site%d.example/" (i mod 5)));
+           ("day", Value.Int (i mod 10));
+           ("tab", Value.Int (i mod 3));
+         ])
+  done;
+  t
+
+let plan_t =
+  Alcotest.testable
+    (fun fmt -> function
+      | Q.Full_scan -> Format.fprintf fmt "Full_scan"
+      | Q.Index_eq n -> Format.fprintf fmt "Index_eq %s" n
+      | Q.Index_range n -> Format.fprintf fmt "Index_range %s" n)
+    ( = )
+
+let check_plan t msg expected where =
+  Alcotest.check plan_t msg expected (Q.plan_for t where);
+  (* Whatever the plan, the rows must match a naive filter. *)
+  let naive =
+    List.filter (fun (_, row) -> P.eval where (Table.schema t) row) (Table.rows t)
+  in
+  Alcotest.(check int) (msg ^ ": row parity") (List.length naive)
+    (List.length (Q.select ~where t))
+
+let test_equality_prefix () =
+  let t = fixture () in
+  check_plan t "both indexed columns pinned"
+    (Q.Index_eq "by_url_day")
+    (P.And [ P.Eq ("url", Value.Text "http://site2.example/"); P.Eq ("day", Value.Int 7) ]);
+  check_plan t "single-column index pinned" (Q.Index_eq "by_day") (P.Eq ("day", Value.Int 3));
+  check_plan t "extra conjuncts do not block the index"
+    (Q.Index_eq "by_day")
+    (P.And [ P.Eq ("day", Value.Int 3); P.Cmp (P.Ge, "tab", Value.Int 1) ])
+
+let test_partial_prefix_is_not_enough () =
+  let t = fixture () in
+  (* url alone pins only half of by_url_day, and no range is implied:
+     the planner must fall back to a scan rather than misuse the
+     composite index. *)
+  check_plan t "half-pinned composite index" Q.Full_scan
+    (P.Eq ("url", Value.Text "http://site1.example/"))
+
+let test_range_shapes () =
+  let t = fixture () in
+  check_plan t "between uses the range index"
+    (Q.Index_range "by_day")
+    (P.Between ("day", Value.Int 2, Value.Int 5));
+  check_plan t "inclusive comparison widens to a range"
+    (Q.Index_range "by_day")
+    (P.Cmp (P.Ge, "day", Value.Int 6));
+  (* Strict bounds cannot be widened exactly; the executor scans. *)
+  check_plan t "strict comparison stays a scan" Q.Full_scan (P.Cmp (P.Lt, "day", Value.Int 6))
+
+let test_mixed_shapes () =
+  let t = fixture () in
+  (* Equality on an unindexed column + range on an indexed one: the
+     range index carries the query. *)
+  check_plan t "mixed equality and range"
+    (Q.Index_range "by_day")
+    (P.And [ P.Eq ("tab", Value.Int 1); P.Between ("day", Value.Int 1, Value.Int 4) ]);
+  (* Full equality coverage beats the range. *)
+  check_plan t "equality wins over range"
+    (Q.Index_eq "by_url_day")
+    (P.And
+       [
+         P.Eq ("url", Value.Text "http://site0.example/");
+         P.Eq ("day", Value.Int 5);
+         P.Between ("day", Value.Int 0, Value.Int 9);
+       ])
+
+let test_no_index_applies () =
+  let t = fixture () in
+  check_plan t "unindexed equality" Q.Full_scan (P.Eq ("tab", Value.Int 2));
+  check_plan t "trivial predicate" Q.Full_scan P.True;
+  check_plan t "disjunction defeats the planner" Q.Full_scan
+    (P.Or [ P.Eq ("day", Value.Int 1); P.Eq ("day", Value.Int 2) ]);
+  check_plan t "negation defeats the planner" Q.Full_scan (P.Not (P.Eq ("day", Value.Int 1)))
+
+let suite =
+  [
+    Alcotest.test_case "equality prefixes" `Quick test_equality_prefix;
+    Alcotest.test_case "partial composite prefix" `Quick test_partial_prefix_is_not_enough;
+    Alcotest.test_case "range shapes" `Quick test_range_shapes;
+    Alcotest.test_case "mixed shapes" `Quick test_mixed_shapes;
+    Alcotest.test_case "no applicable index" `Quick test_no_index_applies;
+  ]

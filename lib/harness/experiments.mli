@@ -59,6 +59,11 @@ val e15_heterogeneous_joins : Dataset.t -> Report.t
 (** §3.3: the same questions as multi-table Places joins and as
     one-graph queries — answered counts and latency. *)
 
+val e16_crash_recovery : ?crash_points:int -> ?flip_points:int -> Dataset.t -> Report.t
+(** Durability of the journal (extends E14): v2 framing overhead vs the
+    unframed v1 image, prefix-consistent recovery across a sweep of
+    injected crash points, and single-byte-flip detection rate. *)
+
 val run_all : ?quick:bool -> seed:int -> unit -> Report.t list
 (** Build the standard dataset and run every experiment.  [quick]
     shrinks sample counts and the scaling sweep (used by tests). *)

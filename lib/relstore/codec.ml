@@ -29,7 +29,8 @@ let write_value buf v =
   | Bool true -> tag tag_true
 
 let read_bytes s pos n =
-  if !pos + n > String.length s then Errors.corrupt "codec: truncated payload at %d" !pos
+  if n < 0 || !pos + n > String.length s then
+    Errors.corrupt "codec: truncated payload at %d" !pos
   else begin
     let out = String.sub s !pos n in
     pos := !pos + n;
@@ -68,13 +69,46 @@ let read_string s pos =
   let n = Varint.read_unsigned s pos in
   read_bytes s pos n
 
+(* An element count must be plausible before it sizes an allocation:
+   every encoded element takes at least one byte, so a count beyond the
+   remaining bytes (or negative, from a hostile varint) is corruption. *)
+let read_count s pos =
+  let n = Varint.read_unsigned s pos in
+  if n < 0 || n > String.length s - !pos then
+    Errors.corrupt "codec: implausible count %d at %d" n !pos
+  else n
+
 let write_row buf row =
   Varint.write_unsigned buf (Array.length row);
   Array.iter (write_value buf) row
 
 let read_row s pos =
-  let n = Varint.read_unsigned s pos in
+  let n = read_count s pos in
   Array.init n (fun _ -> read_value s pos)
+
+(* --- checksummed frames (storage format v2) --- *)
+
+module Crc32 = Provkit_util.Crc32
+
+let write_frame buf payload =
+  Varint.write_unsigned buf (String.length payload);
+  Buffer.add_string buf (Crc32.to_le_bytes (Crc32.digest payload));
+  Buffer.add_string buf payload
+
+let read_frame s pos =
+  let n = read_count s pos in
+  if String.length s - !pos < 4 + n then Errors.corrupt "frame: truncated at %d" !pos
+  else begin
+    let stored = Crc32.of_le_bytes s !pos in
+    pos := !pos + 4;
+    let payload_pos = !pos in
+    pos := !pos + n;
+    if Crc32.digest ~pos:payload_pos ~len:n s <> stored then
+      Errors.corrupt "frame: checksum mismatch at %d" payload_pos
+    else String.sub s payload_pos n
+  end
+
+let frame_size n = Varint.size_unsigned n + 4 + n
 
 let row_size row =
   Array.fold_left

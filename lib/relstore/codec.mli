@@ -19,3 +19,26 @@ val read_row : string -> int ref -> Value.t array
 
 val row_size : Value.t array -> int
 (** Exact encoded byte length of {!write_row}'s output. *)
+
+val read_count : string -> int ref -> int
+(** A varint element count, validated against the bytes that remain:
+    every encoded element occupies at least one byte, so a larger (or
+    negative) count raises {!Errors.Corrupt} before it can size an
+    allocation. *)
+
+(** {2 Checksummed frames (storage format v2)}
+
+    A frame is [varint payload-length][CRC-32, 4 bytes LE][payload].
+    Framing every journal record lets recovery detect corruption
+    anywhere — a flipped byte, a torn write mid-file — rather than only
+    a truncated tail, and stop at the last verified prefix. *)
+
+val write_frame : Buffer.t -> string -> unit
+
+val read_frame : string -> int ref -> string
+(** Raises {!Errors.Corrupt} if the frame is truncated, overruns the
+    input, or fails its checksum; [pos] is advanced only past a fully
+    verified frame. *)
+
+val frame_size : int -> int
+(** Encoded size of a frame holding an [n]-byte payload. *)

@@ -1,0 +1,39 @@
+(* Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+   OCaml's 63-bit native int comfortably holds the 32-bit state, so the
+   implementation is allocation-free per byte. *)
+
+let polynomial = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let digest ?(pos = 0) ?len s =
+  let len = match len with Some n -> n | None -> String.length s - pos in
+  update 0 s pos len
+
+let to_le_bytes crc =
+  String.init 4 (fun i -> Char.chr ((crc lsr (8 * i)) land 0xFF))
+
+let of_le_bytes s pos =
+  if pos < 0 || pos + 4 > String.length s then
+    invalid_arg "Crc32.of_le_bytes: range out of bounds";
+  let b i = Char.code s.[pos + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)

@@ -1,0 +1,65 @@
+(* CRC-32: the canonical check value, incremental updates, the
+   little-endian wire form, and sensitivity to single-byte damage. *)
+
+module Crc32 = Provkit_util.Crc32
+module Prng = Provkit_util.Prng
+
+let test_check_value () =
+  Alcotest.(check int) "digest(\"123456789\")" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "digest of empty string" 0 (Crc32.digest "")
+
+let test_pos_len () =
+  let s = "xx123456789yy" in
+  Alcotest.(check int) "substring digest" 0xCBF43926 (Crc32.digest ~pos:2 ~len:9 s)
+
+let random_string rng len = String.init len (fun _ -> Char.chr (Prng.int rng 256))
+
+let test_incremental () =
+  let rng = Test_seed.prng ~salt:1 in
+  for _ = 1 to 200 do
+    let a = random_string rng (Prng.int rng 64) in
+    let b = random_string rng (Prng.int rng 64) in
+    let whole = Crc32.digest (a ^ b) in
+    let incremental = Crc32.update (Crc32.digest a) b 0 (String.length b) in
+    Alcotest.(check int) "update extends digest" whole incremental
+  done
+
+let test_le_bytes_roundtrip () =
+  let rng = Test_seed.prng ~salt:2 in
+  for _ = 1 to 200 do
+    let crc = Crc32.digest (random_string rng 24) in
+    let wire = Crc32.to_le_bytes crc in
+    Alcotest.(check int) "wire form is 4 bytes" 4 (String.length wire);
+    Alcotest.(check int) "LE round trip" crc (Crc32.of_le_bytes wire 0);
+    Alcotest.(check int) "LE round trip at offset" crc (Crc32.of_le_bytes ("zz" ^ wire) 2)
+  done
+
+let test_flip_sensitivity () =
+  (* A single complemented byte must always change the checksum (CRC-32
+     detects all burst errors up to 32 bits). *)
+  let rng = Test_seed.prng ~salt:3 in
+  for _ = 1 to 200 do
+    let s = random_string rng (1 + Prng.int rng 100) in
+    let k = Prng.int rng (String.length s) in
+    let damaged =
+      String.mapi (fun i c -> if i = k then Char.chr (Char.code c lxor 0xFF) else c) s
+    in
+    Alcotest.(check bool) "flip changes digest" true (Crc32.digest s <> Crc32.digest damaged)
+  done
+
+let test_range_in_bounds () =
+  Alcotest.(check bool) "of_le_bytes past end rejected" true
+    (try
+       ignore (Crc32.of_le_bytes "abc" 0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "check value" `Quick test_check_value;
+    Alcotest.test_case "pos/len digest" `Quick test_pos_len;
+    Alcotest.test_case "incremental update" `Quick test_incremental;
+    Alcotest.test_case "LE bytes roundtrip" `Quick test_le_bytes_roundtrip;
+    Alcotest.test_case "single-byte flip sensitivity" `Quick test_flip_sensitivity;
+    Alcotest.test_case "of_le_bytes bounds" `Quick test_range_in_bounds;
+  ]

@@ -1,0 +1,24 @@
+(* Seeding for the randomized suites.
+
+   Every randomized test draws its generator from here: a fixed default
+   seed keeps `dune runtest` reproducible, the PROV_TEST_SEED environment
+   variable overrides it for exploratory sweeps, and each test announces
+   the seed it used on stdout — Alcotest replays captured output when a
+   test fails, so a failure always names the value that reproduces it. *)
+
+let value =
+  match Sys.getenv_opt "PROV_TEST_SEED" with
+  | None | Some "" -> 20090213
+  | Some s -> begin
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "PROV_TEST_SEED=%S is not an integer\n" s;
+      exit 2
+  end
+
+let announce () = Printf.printf "PROV_TEST_SEED=%d (re-export to reproduce)\n%!" value
+
+let prng ~salt =
+  announce ();
+  Provkit_util.Prng.create (value + salt)
