@@ -3,7 +3,8 @@
    Subcommands:
      generate     simulate browsing; save provenance/places DBs + event log
      replay       rebuild a provenance store from a recorded event stream
-     stats        node/edge statistics of a saved provenance DB
+     stats        metrics snapshot of an instrumented ingest+query run
+                  (or, with --db, node/edge statistics of a saved DB)
      search       contextual history search over a saved DB
      time-search  "X associated with Y" over a saved DB
      lineage      first recognizable ancestor of a downloaded file
@@ -128,15 +129,109 @@ let replay_cmd =
 
 (* --- stats ---------------------------------------------------------- *)
 
-let stats db =
-  let store = load_store db in
-  Format.printf "%a" Core.Prov_store.pp_stats store;
-  Printf.printf "causal graph acyclic: %b\n" (Core.Versioning.is_acyclic store)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Metrics live in the process that did the work, so the default stats
+   mode runs a self-contained instrumented workload: simulate browsing,
+   ingest the event stream through the capture observer backed by a
+   segmented WAL (with a compaction and a recovery), then exercise every
+   query plan kind — and report the registry's snapshot of all of it. *)
+let workload_snapshot days seed =
+  Provkit_obs.Metrics.set_enabled true;
+  let dir = Filename.temp_file "provctl-stats" ".wal" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+  let handle =
+    Core.Prov_log.Segmented.open_
+      ~config:{ Core.Prov_log.Segmented.max_segment_bytes = 16384 } dir
+  in
+  let capture, feed = Core.Capture.observer () in
+  let store = Core.Capture.store capture in
+  Core.Prov_log.Segmented.attach handle store;
+  List.iter feed events;
+  Core.Prov_log.Segmented.compact handle store;
+  Core.Prov_log.Segmented.close handle;
+  ignore (Core.Prov_log.Segmented.recover ~dir);
+  let db = Core.Prov_schema.to_database store in
+  let nodes = Relstore.Database.table db "prov_node" in
+  let schema = Relstore.Table.schema nodes in
+  let urls =
+    Relstore.Table.fold nodes ~init:[] ~f:(fun acc _ row ->
+        if List.length acc >= 8 then acc
+        else
+          match Relstore.Row.text_opt schema row "url" with
+          | Some u when (not (List.mem u acc)) && not (String.contains u '\'') ->
+            u :: acc
+          | _ -> acc)
+  in
+  let q s = ignore (Relstore.Sql.query db s) in
+  q "SELECT COUNT(*) FROM prov_node";
+  q "SELECT kind, COUNT(*) FROM prov_node GROUP BY kind";
+  q "SELECT * FROM prov_node WHERE kind = 1 LIMIT 20";
+  q "SELECT * FROM prov_edge WHERE src BETWEEN 1 AND 64";
+  List.iter
+    (fun u -> q (Printf.sprintf "SELECT * FROM prov_node WHERE url = '%s'" u))
+    urls;
+  Provkit_obs.Metrics.snapshot ()
+
+let stats db json trace_out days seed =
+  (match db with
+  | Some path ->
+    let store = load_store path in
+    Format.printf "%a" Core.Prov_store.pp_stats store;
+    Printf.printf "causal graph acyclic: %b\n" (Core.Versioning.is_acyclic store)
+  | None ->
+    let snap = workload_snapshot days seed in
+    if json then print_endline (Provkit_obs.Metrics.to_json snap)
+    else begin
+      print_string (Provkit_obs.Metrics.render snap);
+      Printf.printf "\nheadline: %s\n" (Provkit_obs.Metrics.headline snap)
+    end);
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Provkit_obs.Trace.dump_jsonl oc;
+    close_out oc;
+    Printf.eprintf "trace -> %s\n" path
+
+let db_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:
+          "Report node/edge statistics of this saved database instead of running the \
+           instrumented workload.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable metrics snapshot.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE" ~doc:"Dump recorded spans here, one JSON per line.")
 
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats" ~doc:"Statistics of a saved provenance database")
-    Term.(const stats $ db_arg)
+    (Cmd.info "stats"
+       ~doc:
+         "Metrics snapshot of an instrumented ingest+query run (with --db: statistics of \
+          a saved provenance database)")
+    Term.(const stats $ db_opt_arg $ json_flag $ trace_out_arg $ days_arg $ seed_arg)
 
 (* --- search --------------------------------------------------------- *)
 
@@ -274,7 +369,11 @@ let sessions_cmd =
 
 let sql db statement explain_only =
   let database = Relstore.Database.load ~path:db in
-  if explain_only then print_endline (Relstore.Sql.explain database statement)
+  if explain_only then begin
+    match Relstore.Sql.explain_query database statement with
+    | report -> print_endline (Relstore.Sql.render_explain report)
+    | exception Relstore.Sql.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  end
   else begin
     match Relstore.Sql.query database statement with
     | result ->
@@ -289,7 +388,12 @@ let statement_arg =
     & info [] ~docv:"SQL" ~doc:"e.g. \"SELECT label FROM prov_node WHERE kind = 4 LIMIT 10\".")
 
 let explain_flag =
-  Arg.(value & flag & info [ "explain" ] ~doc:"Show the planner's access path instead of rows.")
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Run the query and report the planner's access path, estimated vs. scanned vs. \
+           returned rows, and latency instead of the result rows.")
 
 let sql_cmd =
   Cmd.v

@@ -51,7 +51,10 @@ let create ~web ~search () =
 
 let subscribe t f = t.observers <- t.observers @ [ f ]
 
+let m_events = Provkit_obs.Metrics.counter Provkit_obs.Names.browser_events
+
 let emit t event =
+  Provkit_obs.Metrics.incr m_events;
   t.log <- event :: t.log;
   List.iter (fun f -> f event) t.observers
 

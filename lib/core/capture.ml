@@ -1,5 +1,31 @@
 module Event = Browser.Event
 module Transition = Browser.Transition
+module Obs = Provkit_obs
+
+(* Events ingested, total and per kind — the capture half of the
+   paper's recording-overhead story. *)
+let m_events = Obs.Metrics.counter Obs.Names.capture_events
+let m_visit = Obs.Metrics.counter Obs.Names.capture_visit
+let m_close = Obs.Metrics.counter Obs.Names.capture_close
+let m_tab_opened = Obs.Metrics.counter Obs.Names.capture_tab_opened
+let m_tab_closed = Obs.Metrics.counter Obs.Names.capture_tab_closed
+let m_bookmark = Obs.Metrics.counter Obs.Names.capture_bookmark
+let m_search = Obs.Metrics.counter Obs.Names.capture_search
+let m_download = Obs.Metrics.counter Obs.Names.capture_download
+let m_form = Obs.Metrics.counter Obs.Names.capture_form
+
+let count_event event =
+  Obs.Metrics.incr m_events;
+  Obs.Metrics.incr
+    (match (event : Event.t) with
+    | Event.Visit _ -> m_visit
+    | Event.Close _ -> m_close
+    | Event.Tab_opened _ -> m_tab_opened
+    | Event.Tab_closed _ -> m_tab_closed
+    | Event.Bookmark_added _ -> m_bookmark
+    | Event.Search _ -> m_search
+    | Event.Download_started _ -> m_download
+    | Event.Form_submitted _ -> m_form)
 
 type config = {
   record_typed_edges : bool;
@@ -146,6 +172,7 @@ let handle_visit t (v : Event.visit) =
   end
 
 let handle t event =
+  count_event event;
   let cfg = t.config in
   match (event : Event.t) with
   | Event.Visit v -> handle_visit t v

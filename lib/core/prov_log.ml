@@ -1,5 +1,6 @@
 module V = Relstore.Varint
 module C = Relstore.Codec
+module Obs = Provkit_obs
 
 type op =
   | Add_node of Prov_node.t
@@ -152,9 +153,12 @@ let encode_framed_op scratch op =
   encode_op scratch op;
   Buffer.contents scratch
 
+let m_journal_appends = Obs.Metrics.counter Obs.Names.journal_appends
+
 let append t op =
   C.write_frame t.buf (encode_framed_op t.scratch op);
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  Obs.Metrics.incr m_journal_appends
 
 let length t = t.count
 let byte_size t = Buffer.length t.buf
@@ -258,6 +262,20 @@ let compact store = (Prov_schema.to_database store, create ())
 module Segmented = struct
   module Fio = Provkit_util.Faulty_io
 
+  (* WAL health metrics: every durability-relevant action ticks a
+     counter, so `provctl stats` can report appends/fsyncs/rotations/
+     compactions and recovery outcomes without bespoke accounting. *)
+  let m_appends = Obs.Metrics.counter Obs.Names.wal_appends
+  let m_fsyncs = Obs.Metrics.counter Obs.Names.wal_fsyncs
+  let m_rotations = Obs.Metrics.counter Obs.Names.wal_rotations
+  let m_compactions = Obs.Metrics.counter Obs.Names.wal_compactions
+  let m_snapshots = Obs.Metrics.counter Obs.Names.wal_snapshots
+  let m_bytes = Obs.Metrics.counter Obs.Names.wal_bytes_written
+  let m_recoveries = Obs.Metrics.counter Obs.Names.wal_recoveries
+  let m_recovered_ops = Obs.Metrics.counter Obs.Names.wal_recovered_ops
+  let m_recovered_segments = Obs.Metrics.counter Obs.Names.wal_recovered_segments
+  let m_recoveries_truncated = Obs.Metrics.counter Obs.Names.wal_recoveries_truncated
+
   type config = { max_segment_bytes : int }
 
   let default_config = { max_segment_bytes = 256 * 1024 }
@@ -346,6 +364,8 @@ module Segmented = struct
     let sink = h.make_sink (Filename.concat h.dir name) in
     Fio.write sink magic_v2;
     Fio.flush sink;
+    Obs.Metrics.incr m_fsyncs;
+    Obs.Metrics.add m_bytes (String.length magic_v2);
     h.active <- sink;
     h.active_bytes <- String.length magic_v2;
     (* Segment file exists before the manifest names it. *)
@@ -396,6 +416,7 @@ module Segmented = struct
 
   let rotate h =
     Fio.close h.active;
+    Obs.Metrics.incr m_rotations;
     start_segment h
 
   let append h op =
@@ -405,6 +426,9 @@ module Segmented = struct
     Fio.flush h.active;
     h.active_bytes <- h.active_bytes + Buffer.length frame;
     h.appended <- h.appended + 1;
+    Obs.Metrics.incr m_appends;
+    Obs.Metrics.incr m_fsyncs;
+    Obs.Metrics.add m_bytes (Buffer.length frame);
     if h.active_bytes >= h.config.max_segment_bytes then rotate h
 
   let attach h store = Prov_store.set_observer store (fun m -> append h (op_of_mutation m))
@@ -417,24 +441,28 @@ module Segmented = struct
     C.write_frame buf (Relstore.Database.to_bytes (Prov_schema.to_database store));
     Fio.write sink (Buffer.contents buf);
     Fio.close sink;
+    Obs.Metrics.incr m_snapshots;
+    Obs.Metrics.add m_bytes (String.length snapshot_magic + Buffer.length buf);
     name
 
   (* Compaction: persist the live store as a checksummed snapshot, then
      truncate the tail — old segments (and the previous snapshot) are
      dropped and appending continues into a fresh, empty segment. *)
   let compact h store =
-    let old = h.manifest in
-    let snap = write_snapshot h store in
-    Fio.close h.active;
-    h.manifest <-
-      { generation = old.generation + 1; snapshot = Some snap; segments = [] };
-    start_segment h;
-    let remove name =
-      let path = Filename.concat h.dir name in
-      if Sys.file_exists path then Sys.remove path
-    in
-    List.iter remove old.segments;
-    Option.iter remove old.snapshot
+    Obs.Trace.with_span "wal.compact" ~attrs:[ ("dir", h.dir) ] (fun () ->
+        let old = h.manifest in
+        let snap = write_snapshot h store in
+        Fio.close h.active;
+        h.manifest <-
+          { generation = old.generation + 1; snapshot = Some snap; segments = [] };
+        start_segment h;
+        let remove name =
+          let path = Filename.concat h.dir name in
+          if Sys.file_exists path then Sys.remove path
+        in
+        List.iter remove old.segments;
+        Option.iter remove old.snapshot;
+        Obs.Metrics.incr m_compactions)
 
   let close h = Fio.close h.active
 
@@ -454,6 +482,7 @@ module Segmented = struct
     Prov_schema.of_database (Relstore.Database.of_bytes (C.read_frame s pos))
 
   let recover ~dir =
+    Obs.Trace.with_span "wal.recover" ~attrs:[ ("dir", dir) ] (fun () ->
     let manifest = load_manifest dir in
     let store =
       match manifest.snapshot with
@@ -492,5 +521,9 @@ module Segmented = struct
            end)
          manifest.segments
      with Exit -> ());
-    { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated }
+    Obs.Metrics.incr m_recoveries;
+    Obs.Metrics.add m_recovered_ops !ops_applied;
+    Obs.Metrics.add m_recovered_segments !segments_read;
+    if !truncated then Obs.Metrics.incr m_recoveries_truncated;
+    { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated })
 end

@@ -7,11 +7,20 @@ type t = {
   notes : string list;
 }
 
+(* Each printed report carries the cumulative instrumentation headline
+   at the moment it was produced, so every number EXPERIMENTS.md quotes
+   names the events/WAL/query activity that generated it. *)
+let metrics_line () =
+  if Provkit_obs.Metrics.enabled () then
+    Some (Provkit_obs.Metrics.headline (Provkit_obs.Metrics.snapshot ()))
+  else None
+
 let print t =
   Printf.printf "\n=== %s: %s ===\n" t.id t.title;
   Printf.printf "paper: %s\n\n" t.paper_claim;
   Provkit_util.Table_fmt.print ~header:t.header t.rows;
   List.iter (fun note -> Printf.printf "note: %s\n" note) t.notes;
+  Option.iter (Printf.printf "instrumentation: %s\n") (metrics_line ());
   print_newline ()
 
 let fmt_ms ms = Printf.sprintf "%.2f ms" ms

@@ -10,7 +10,15 @@ type t = {
 }
 
 val print : t -> unit
-(** Render to stdout in the format EXPERIMENTS.md quotes. *)
+(** Render to stdout in the format EXPERIMENTS.md quotes.  When the
+    {!Provkit_obs} registry is enabled, an [instrumentation:] line with
+    the cumulative metrics headline ({!Provkit_obs.Metrics.headline}) is
+    appended, so published numbers carry their instrumentation
+    provenance. *)
+
+val metrics_line : unit -> string option
+(** The headline embedded by {!print}; [None] when observability is
+    off. *)
 
 val fmt_ms : float -> string
 val fmt_bytes : int -> string

@@ -1,0 +1,91 @@
+(* The single source of truth for metric names.  Every counter, gauge
+   and histogram recorded anywhere in the tree must use a constant from
+   this module; the @obs-check dune alias greps the sources for
+   "prov.x.y"-shaped string literals and rejects any that this file does
+   not declare.  Names are dotted, lower-case, and have at least two
+   dots (so unrelated literals like "prov.db" never collide with the
+   lint). *)
+
+(* --- browser engine --- *)
+
+let browser_events = "prov.browser.events.emitted"
+
+(* --- provenance capture --- *)
+
+let capture_events = "prov.capture.events.total"
+let capture_visit = "prov.capture.events.visit"
+let capture_close = "prov.capture.events.close"
+let capture_tab_opened = "prov.capture.events.tab_opened"
+let capture_tab_closed = "prov.capture.events.tab_closed"
+let capture_bookmark = "prov.capture.events.bookmark"
+let capture_search = "prov.capture.events.search"
+let capture_download = "prov.capture.events.download"
+let capture_form = "prov.capture.events.form"
+
+(* --- in-memory journal --- *)
+
+let journal_appends = "prov.journal.appends.total"
+
+(* --- segmented WAL --- *)
+
+let wal_appends = "prov.wal.appends.total"
+let wal_fsyncs = "prov.wal.fsyncs.total"
+let wal_rotations = "prov.wal.rotations.total"
+let wal_compactions = "prov.wal.compactions.total"
+let wal_snapshots = "prov.wal.snapshots.total"
+let wal_bytes_written = "prov.wal.bytes.written"
+let wal_recoveries = "prov.wal.recoveries.total"
+let wal_recovered_ops = "prov.wal.recoveries.ops"
+let wal_recovered_segments = "prov.wal.recoveries.segments"
+let wal_recoveries_truncated = "prov.wal.recoveries.truncated"
+
+(* --- query execution --- *)
+
+let query_count = "prov.query.exec.total"
+let query_full_scan = "prov.query.plan.full_scan"
+let query_index_eq = "prov.query.plan.index_eq"
+let query_index_range = "prov.query.plan.index_range"
+let query_rows_scanned = "prov.query.rows.scanned"
+let query_rows_returned = "prov.query.rows.returned"
+let query_latency_ns = "prov.query.latency.ns"
+
+(* --- tracer --- *)
+
+let trace_spans = "prov.trace.spans.recorded"
+let trace_dropped = "prov.trace.spans.dropped"
+
+let all =
+  [
+    browser_events;
+    capture_events;
+    capture_visit;
+    capture_close;
+    capture_tab_opened;
+    capture_tab_closed;
+    capture_bookmark;
+    capture_search;
+    capture_download;
+    capture_form;
+    journal_appends;
+    wal_appends;
+    wal_fsyncs;
+    wal_rotations;
+    wal_compactions;
+    wal_snapshots;
+    wal_bytes_written;
+    wal_recoveries;
+    wal_recovered_ops;
+    wal_recovered_segments;
+    wal_recoveries_truncated;
+    query_count;
+    query_full_scan;
+    query_index_eq;
+    query_index_range;
+    query_rows_scanned;
+    query_rows_returned;
+    query_latency_ns;
+    trace_spans;
+    trace_dropped;
+  ]
+
+let registered name = List.mem name all

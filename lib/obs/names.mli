@@ -1,0 +1,80 @@
+(** Metric-name registry: the single source of truth checked by the
+    [@obs-check] lint.  Use these constants — never a raw string — when
+    recording a metric; an unregistered "prov.x.y" literal anywhere under
+    [lib/] or [bin/] fails the build's lint alias. *)
+
+val browser_events : string
+(** Events the browser engine broadcast to its observers. *)
+
+val capture_events : string
+(** Events the provenance capture layer ingested (all kinds). *)
+
+val capture_visit : string
+
+val capture_close : string
+
+val capture_tab_opened : string
+
+val capture_tab_closed : string
+
+val capture_bookmark : string
+
+val capture_search : string
+
+val capture_download : string
+
+val capture_form : string
+
+val journal_appends : string
+(** Ops appended to an in-memory [Prov_log.t] journal. *)
+
+val wal_appends : string
+(** Ops appended to a segmented WAL. *)
+
+val wal_fsyncs : string
+(** Sink flushes issued by the segmented WAL. *)
+
+val wal_rotations : string
+
+val wal_compactions : string
+
+val wal_snapshots : string
+
+val wal_bytes_written : string
+
+val wal_recoveries : string
+(** Completed [Segmented.recover] runs. *)
+
+val wal_recovered_ops : string
+
+val wal_recovered_segments : string
+
+val wal_recoveries_truncated : string
+(** Recoveries that stopped at a damaged frame. *)
+
+val query_count : string
+(** Query_exec operations executed (select/count/join/group_count). *)
+
+val query_full_scan : string
+
+val query_index_eq : string
+
+val query_index_range : string
+
+val query_rows_scanned : string
+(** Rows the chosen access path examined. *)
+
+val query_rows_returned : string
+
+val query_latency_ns : string
+(** Histogram of per-query latency in nanoseconds. *)
+
+val trace_spans : string
+
+val trace_dropped : string
+(** Spans overwritten in the ring before being drained. *)
+
+val all : string list
+(** Every registered name, in declaration order. *)
+
+val registered : string -> bool

@@ -1,0 +1,94 @@
+(* Span-based tracing: structured (name, attrs, start, duration) events
+   kept in a bounded in-memory ring, with an optional sink for streaming
+   each span out (e.g. as JSONL) the moment it closes.  Recording obeys
+   the same global switch as the metrics registry, so traced hot paths
+   cost one branch when observability is off. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  dur_ns : int64;
+}
+
+let m_spans = Metrics.counter Names.trace_spans
+let m_dropped = Metrics.counter Names.trace_dropped
+
+let default_capacity = 1024
+
+type ring = { mutable slots : span option array; mutable next : int; mutable written : int }
+
+let ring = { slots = Array.make default_capacity None; next = 0; written = 0 }
+
+let sink : (span -> unit) option ref = ref None
+
+let set_sink f = sink := f
+
+let capacity () = Array.length ring.slots
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  ring.slots <- Array.make n None;
+  ring.next <- 0;
+  ring.written <- 0
+
+let clear () =
+  Array.fill ring.slots 0 (Array.length ring.slots) None;
+  ring.next <- 0;
+  ring.written <- 0
+
+let record ?(attrs = []) name ~start_ns ~dur_ns =
+  if Metrics.enabled () then begin
+    let s = { name; attrs; start_ns; dur_ns } in
+    let cap = Array.length ring.slots in
+    if ring.written >= cap && ring.slots.(ring.next) <> None then Metrics.incr m_dropped;
+    ring.slots.(ring.next) <- Some s;
+    ring.next <- (ring.next + 1) mod cap;
+    ring.written <- ring.written + 1;
+    Metrics.incr m_spans;
+    match !sink with None -> () | Some f -> f s
+  end
+
+let with_span ?attrs name f =
+  if Metrics.enabled () then begin
+    let start_ns = Provkit_util.Timing.now_ns () in
+    let finally () =
+      let dur_ns = Int64.sub (Provkit_util.Timing.now_ns ()) start_ns in
+      record ?attrs name ~start_ns ~dur_ns
+    in
+    Fun.protect ~finally f
+  end
+  else f ()
+
+(* Oldest-first contents of the ring. *)
+let recent () =
+  let cap = Array.length ring.slots in
+  let spans = ref [] in
+  (* slot [next] holds the oldest span; walking down from [next+cap-1]
+     and prepending yields oldest-first *)
+  for i = cap - 1 downto 0 do
+    match ring.slots.((ring.next + i) mod cap) with
+    | Some s -> spans := s :: !spans
+    | None -> ()
+  done;
+  !spans
+
+let recorded () = ring.written
+
+let span_to_json s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"attrs\":{"
+       (Metrics.json_escape s.name) s.start_ns s.dur_ns);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k) (Metrics.json_escape v)))
+    s.attrs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let dump_jsonl oc = List.iter (fun s -> output_string oc (span_to_json s ^ "\n")) (recent ())
+
+let jsonl_sink_to_channel oc = Some (fun s -> output_string oc (span_to_json s ^ "\n"))

@@ -1,0 +1,47 @@
+(** Span-based tracing: structured [(name, attrs, start_ns, dur_ns)]
+    events in a bounded in-memory ring buffer, with an optional sink
+    invoked as each span closes (use {!jsonl_sink_to_channel} to stream
+    JSONL).  Recording obeys {!Metrics.enabled}; a traced path costs one
+    branch when observability is off. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  dur_ns : int64;
+}
+
+val record : ?attrs:(string * string) list -> string -> start_ns:int64 -> dur_ns:int64 -> unit
+(** Append a finished span to the ring (overwriting the oldest when
+    full, counted by {!Names.trace_dropped}) and pass it to the sink. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span, recording it even if the thunk raises.
+    When disabled, runs the thunk with no clock reads. *)
+
+val recent : unit -> span list
+(** Current ring contents, oldest first (at most [capacity ()] spans). *)
+
+val recorded : unit -> int
+(** Spans recorded since the last {!clear}/{!set_capacity}, including
+    ones already overwritten. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Replace the ring with an empty one of the given size (default
+    1024).  Raises [Invalid_argument] when non-positive. *)
+
+val clear : unit -> unit
+
+val set_sink : (span -> unit) option -> unit
+
+val span_to_json : span -> string
+(** One-line JSON object:
+    [{"name":..,"start_ns":..,"dur_ns":..,"attrs":{..}}]. *)
+
+val dump_jsonl : out_channel -> unit
+(** Write {!recent} to the channel, one {!span_to_json} line per span. *)
+
+val jsonl_sink_to_channel : out_channel -> (span -> unit) option
+(** A sink streaming each span as a JSONL line, for {!set_sink}. *)

@@ -1,3 +1,5 @@
+module Obs = Provkit_obs
+
 type order = Asc of string | Desc of string
 
 type plan =
@@ -5,13 +7,25 @@ type plan =
   | Index_eq of string
   | Index_range of string
 
+(* The resolved access path: the plan plus everything needed to run it,
+   so planning happens exactly once per query. *)
+type access =
+  | A_scan
+  | A_eq of Index.t * Value.t list
+  | A_range of Index.t * Value.t option * Value.t option
+
 let eq_index table where =
   let eqs = Predicate.conjunctive_eqs where in
   let lookup col = List.assoc_opt col eqs in
   (* Usable when every indexed column is pinned by an equality. *)
-  List.find_opt
-    (fun idx -> List.for_all (fun c -> lookup c <> None) (Index.column_names idx))
-    (Table.indexes table)
+  match
+    List.find_opt
+      (fun idx -> List.for_all (fun c -> lookup c <> None) (Index.column_names idx))
+      (Table.indexes table)
+  with
+  | Some idx ->
+    Some (idx, List.map (fun c -> List.assoc c eqs) (Index.column_names idx))
+  | None -> None
 
 let range_index table where =
   match Predicate.conjunctive_range where with
@@ -22,33 +36,119 @@ let range_index table where =
     | Some idx -> Some (idx, lo, hi)
   end
 
-let plan_for table where =
+let access_for table where =
   match eq_index table where with
-  | Some idx -> Index_eq (Index.name idx)
+  | Some (idx, key) -> A_eq (idx, key)
   | None -> begin
     match range_index table where with
-    | Some (idx, _, _) -> Index_range (Index.name idx)
-    | None -> Full_scan
+    | Some (idx, lo, hi) -> A_range (idx, lo, hi)
+    | None -> A_scan
   end
 
-let candidates table where =
-  match eq_index table where with
-  | Some idx ->
-    let eqs = Predicate.conjunctive_eqs where in
-    let key = List.map (fun c -> List.assoc c eqs) (Index.column_names idx) in
-    List.map (fun rowid -> (rowid, Table.get table rowid)) (Index.find idx key)
-  | None -> begin
-    match range_index table where with
-    | Some (idx, lo, hi) ->
+let plan_of_access = function
+  | A_scan -> Full_scan
+  | A_eq (idx, _) -> Index_eq (Index.name idx)
+  | A_range (idx, _, _) -> Index_range (Index.name idx)
+
+let plan_for table where = plan_of_access (access_for table where)
+
+let plan_name = function
+  | Full_scan -> "full_scan"
+  | Index_eq _ -> "index_eq"
+  | Index_range _ -> "index_range"
+
+type plan_detail = { chosen : plan; estimated_rows : int; table_rows : int }
+
+(* Rows the access path will pull before residual filtering.  For the
+   index paths this probes the index (cheap: O(log n + k)) without
+   touching the heap, so it is an exact candidate count; for a scan it
+   is the table's cardinality. *)
+let plan_detail table where =
+  let access = access_for table where in
+  let estimated_rows =
+    match access with
+    | A_scan -> Table.row_count table
+    | A_eq (idx, key) -> List.length (Index.find idx key)
+    | A_range (idx, lo, hi) ->
       let lo = Option.map (fun v -> [ v ]) lo in
       let hi = Option.map (fun v -> [ v ]) hi in
-      let hits =
-        Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid ->
-            (rowid, Table.get table rowid) :: acc)
-      in
-      List.rev hits
-    | None -> Table.rows table
+      Index.fold_range ?lo ?hi idx ~init:0 ~f:(fun acc _ _ -> acc + 1)
+  in
+  { chosen = plan_of_access access; estimated_rows; table_rows = Table.row_count table }
+
+let rows_of_access table = function
+  | A_eq (idx, key) ->
+    List.map (fun rowid -> (rowid, Table.get table rowid)) (Index.find idx key)
+  | A_range (idx, lo, hi) ->
+    let lo = Option.map (fun v -> [ v ]) lo in
+    let hi = Option.map (fun v -> [ v ]) hi in
+    let hits =
+      Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid ->
+          (rowid, Table.get table rowid) :: acc)
+    in
+    List.rev hits
+  | A_scan -> Table.rows table
+
+(* --- instrumentation ------------------------------------------------ *)
+
+type exec_stats = {
+  plan : plan;
+  rows_scanned : int;
+  rows_returned : int;
+  elapsed_ns : int;
+}
+
+let m_queries = Obs.Metrics.counter Obs.Names.query_count
+let m_full_scan = Obs.Metrics.counter Obs.Names.query_full_scan
+let m_index_eq = Obs.Metrics.counter Obs.Names.query_index_eq
+let m_index_range = Obs.Metrics.counter Obs.Names.query_index_range
+let m_rows_scanned = Obs.Metrics.counter Obs.Names.query_rows_scanned
+let m_rows_returned = Obs.Metrics.counter Obs.Names.query_rows_returned
+let h_latency = Obs.Metrics.histogram Obs.Names.query_latency_ns
+
+(* Every query shape funnels through here: run the thunk (which reports
+   the plan it actually used), then record counters, the latency
+   histogram, and a trace span.  With the registry off this is the bare
+   run plus one branch — no clock reads. *)
+let query_span_threshold_ns = 100_000
+
+let executed ~op ~table_name run =
+  if not (Obs.Metrics.enabled ()) then begin
+    let result, plan, scanned, returned = run () in
+    (result, { plan; rows_scanned = scanned; rows_returned = returned; elapsed_ns = 0 })
   end
+  else begin
+    let start_ns = Provkit_util.Timing.now_ns () in
+    let result, plan, scanned, returned = run () in
+    let elapsed = Int64.to_int (Int64.sub (Provkit_util.Timing.now_ns ()) start_ns) in
+    Obs.Metrics.incr m_queries;
+    Obs.Metrics.incr
+      (match plan with
+      | Full_scan -> m_full_scan
+      | Index_eq _ -> m_index_eq
+      | Index_range _ -> m_index_range);
+    Obs.Metrics.add m_rows_scanned scanned;
+    Obs.Metrics.add m_rows_returned returned;
+    Obs.Metrics.observe h_latency elapsed;
+    (* Slow-query log: building a span's attribute list costs more than a
+       sub-microsecond index probe, so only queries past the threshold
+       get one.  Counters and the latency histogram above still see
+       every query. *)
+    if elapsed >= query_span_threshold_ns then
+      Obs.Trace.record "query"
+        ~attrs:
+          [
+            ("op", op);
+            ("table", table_name);
+            ("plan", plan_name plan);
+            ("rows_scanned", string_of_int scanned);
+            ("rows_returned", string_of_int returned);
+          ]
+        ~start_ns ~dur_ns:(Int64.of_int elapsed);
+    (result, { plan; rows_scanned = scanned; rows_returned = returned; elapsed_ns = elapsed })
+  end
+
+(* --- execution ------------------------------------------------------ *)
 
 let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
   let rec go = function
@@ -60,69 +160,107 @@ let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
   in
   go order_by
 
-let select ?(where = Predicate.True) ?(order_by = []) ?limit table =
+let select_stats ?(where = Predicate.True) ?(order_by = []) ?limit table =
   let schema = Table.schema table in
-  let hits =
-    List.filter (fun (_, row) -> Predicate.eval where schema row) (candidates table where)
-  in
-  let sorted =
-    match order_by with
-    | [] -> List.sort (fun (a, _) (b, _) -> Int.compare a b) hits
-    | _ -> List.sort (compare_rows schema order_by) hits
-  in
-  match limit with
-  | None -> sorted
-  | Some n -> List.filteri (fun i _ -> i < n) sorted
+  executed ~op:"select" ~table_name:(Table.name table) (fun () ->
+      let access = access_for table where in
+      let cands = rows_of_access table access in
+      let hits =
+        List.filter (fun (_, row) -> Predicate.eval where schema row) cands
+      in
+      let sorted =
+        match order_by with
+        | [] -> List.sort (fun (a, _) (b, _) -> Int.compare a b) hits
+        | _ -> List.sort (compare_rows schema order_by) hits
+      in
+      let final =
+        match limit with
+        | None -> sorted
+        | Some n -> List.filteri (fun i _ -> i < n) sorted
+      in
+      (final, plan_of_access access, List.length cands, List.length final))
 
-let count ?(where = Predicate.True) table =
+let select ?where ?order_by ?limit table =
+  fst (select_stats ?where ?order_by ?limit table)
+
+let count_stats ?(where = Predicate.True) table =
   let schema = Table.schema table in
-  List.length
-    (List.filter (fun (_, row) -> Predicate.eval where schema row) (candidates table where))
+  executed ~op:"count" ~table_name:(Table.name table) (fun () ->
+      let access = access_for table where in
+      let cands = rows_of_access table access in
+      let n =
+        List.length (List.filter (fun (_, row) -> Predicate.eval where schema row) cands)
+      in
+      (n, plan_of_access access, List.length cands, 1))
 
-let join ?(where_left = Predicate.True) ?(where_right = Predicate.True)
+let count ?where table = fst (count_stats ?where table)
+
+let join_stats ?(where_left = Predicate.True) ?(where_right = Predicate.True)
     ~on left right =
   let left_cols = List.map fst on and right_cols = List.map snd on in
   let lschema = Table.schema left in
-  let left_rows = select ~where:where_left left in
-  let key_of_left (_, row) = List.map (Row.get lschema row) left_cols in
   let rschema = Table.schema right in
-  let right_matches =
-    match Table.find_index_on right right_cols with
-    | Some idx ->
-      fun key ->
-        List.filter_map
-          (fun rowid ->
-            let row = Table.get right rowid in
-            if Predicate.eval where_right rschema row then Some (rowid, row) else None)
-          (Index.find idx key)
-    | None ->
-      (* Build a one-shot hash join table. *)
-      let tbl = Hashtbl.create 256 in
-      List.iter
-        (fun (rowid, row) ->
-          let key = List.map (Row.get rschema row) right_cols in
-          Hashtbl.add tbl key (rowid, row))
-        (select ~where:where_right right);
-      fun key -> List.rev (Hashtbl.find_all tbl key)
-  in
-  List.concat_map
-    (fun l -> List.map (fun r -> (l, r)) (right_matches (key_of_left l)))
-    left_rows
+  (* The reported plan is the right side's probe path — the decision
+     this executor makes (the left side records its own select).  Rows
+     scanned counts the probed/hashed right rows. *)
+  let scanned = ref 0 in
+  executed ~op:"join" ~table_name:(Table.name right) (fun () ->
+      let left_rows = select ~where:where_left left in
+      let key_of_left (_, row) = List.map (Row.get lschema row) left_cols in
+      let plan, right_matches =
+        match Table.find_index_on right right_cols with
+        | Some idx ->
+          ( Index_eq (Index.name idx),
+            fun key ->
+              List.filter_map
+                (fun rowid ->
+                  incr scanned;
+                  let row = Table.get right rowid in
+                  if Predicate.eval where_right rschema row then Some (rowid, row) else None)
+                (Index.find idx key) )
+        | None ->
+          (* Build a one-shot hash join table. *)
+          let tbl = Hashtbl.create 256 in
+          List.iter
+            (fun (rowid, row) ->
+              incr scanned;
+              let key = List.map (Row.get rschema row) right_cols in
+              Hashtbl.add tbl key (rowid, row))
+            (select ~where:where_right right);
+          (Full_scan, fun key -> List.rev (Hashtbl.find_all tbl key))
+      in
+      let pairs =
+        List.concat_map
+          (fun l -> List.map (fun r -> (l, r)) (right_matches (key_of_left l)))
+          left_rows
+      in
+      (pairs, plan, !scanned, List.length pairs))
 
-let group_count ~by ?(where = Predicate.True) table =
+let join ?where_left ?where_right ~on left right =
+  fst (join_stats ?where_left ?where_right ~on left right)
+
+let group_count_stats ~by ?(where = Predicate.True) table =
   let schema = Table.schema table in
-  let counts = Hashtbl.create 64 in
-  List.iter
-    (fun (_, row) ->
-      if Predicate.eval where schema row then begin
-        let key = Row.get schema row by in
-        let n = Option.value ~default:0 (Hashtbl.find_opt counts key) in
-        Hashtbl.replace counts key (n + 1)
-      end)
-    (candidates table where);
-  let pairs = Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [] in
-  List.sort
-    (fun (ka, na) (kb, nb) ->
-      let c = Int.compare nb na in
-      if c <> 0 then c else Value.compare ka kb)
-    pairs
+  executed ~op:"group_count" ~table_name:(Table.name table) (fun () ->
+      let access = access_for table where in
+      let cands = rows_of_access table access in
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (fun (_, row) ->
+          if Predicate.eval where schema row then begin
+            let key = Row.get schema row by in
+            let n = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+            Hashtbl.replace counts key (n + 1)
+          end)
+        cands;
+      let pairs = Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [] in
+      let sorted =
+        List.sort
+          (fun (ka, na) (kb, nb) ->
+            let c = Int.compare nb na in
+            if c <> 0 then c else Value.compare ka kb)
+          pairs
+      in
+      (sorted, plan_of_access access, List.length cands, List.length sorted))
+
+let group_count ~by ?where table = fst (group_count_stats ~by ?where table)

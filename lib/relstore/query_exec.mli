@@ -1,5 +1,11 @@
 (** Query execution over tables: selection with index acceleration,
-    ordering, limits, and equi-joins. *)
+    ordering, limits, and equi-joins.
+
+    Every operation is instrumented through {!Provkit_obs}: the chosen
+    plan, rows scanned vs. returned, and a latency histogram are
+    recorded per query (one branch of overhead when observability is
+    off).  The [*_stats] variants additionally return that information
+    to the caller — the [EXPLAIN] surface builds on them. *)
 
 type order = Asc of string | Desc of string
 
@@ -13,6 +19,30 @@ val plan_for : Table.t -> Predicate.t -> plan
     index over a prefix of the predicate's conjunctive equalities, else a
     range index, else a scan. *)
 
+val plan_name : plan -> string
+(** ["full_scan"], ["index_eq"] or ["index_range"] — the label used in
+    metric names and trace attributes. *)
+
+type plan_detail = {
+  chosen : plan;
+  estimated_rows : int;
+      (** rows the access path will examine before residual filtering:
+          an exact candidate count from an index probe for the index
+          paths, the table cardinality for a scan *)
+  table_rows : int;  (** the table's total cardinality, for context *)
+}
+
+val plan_detail : Table.t -> Predicate.t -> plan_detail
+(** {!plan_for} plus the estimated rows examined.  Probes indexes
+    (without touching the row heap) but never executes the query. *)
+
+type exec_stats = {
+  plan : plan;  (** the access path actually used *)
+  rows_scanned : int;  (** candidate rows the access path examined *)
+  rows_returned : int;
+  elapsed_ns : int;  (** [0] when observability is disabled *)
+}
+
 val select :
   ?where:Predicate.t ->
   ?order_by:order list ->
@@ -22,7 +52,17 @@ val select :
 (** Rows satisfying [where] (default all), ordered by [order_by] (default
     row id), truncated to [limit]. *)
 
+val select_stats :
+  ?where:Predicate.t ->
+  ?order_by:order list ->
+  ?limit:int ->
+  Table.t ->
+  (int * Row.t) list * exec_stats
+(** {!select} plus the execution statistics for this query. *)
+
 val count : ?where:Predicate.t -> Table.t -> int
+
+val count_stats : ?where:Predicate.t -> Table.t -> int * exec_stats
 
 val join :
   ?where_left:Predicate.t ->
@@ -35,5 +75,22 @@ val join :
     matching column of the right row.  Probes a right-table index when
     one covers the join columns, else builds a hash table on the fly. *)
 
+val join_stats :
+  ?where_left:Predicate.t ->
+  ?where_right:Predicate.t ->
+  on:(string * string) list ->
+  Table.t ->
+  Table.t ->
+  ((int * Row.t) * (int * Row.t)) list * exec_stats
+(** {!join} plus statistics.  The reported plan is the right side's
+    probe path ([Index_eq] when an index covers the join columns, else
+    [Full_scan] for the hash build); [rows_scanned] counts the right
+    rows probed or hashed. *)
+
 val group_count : by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) list
-(** Row counts grouped by a column's value, sorted descending by count. *)
+(** Row counts grouped by a column's value, sorted descending by count.
+    Goes through the same plan selection as {!select}: an index
+    satisfying [where] narrows the scanned candidates. *)
+
+val group_count_stats :
+  by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) list * exec_stats

@@ -363,7 +363,7 @@ let parse input =
 
 type result = { columns : string list; rows : Value.t list list }
 
-let execute db ast =
+let execute_stats db ast =
   let table = Database.table db ast.table in
   let schema = Table.schema table in
   (* Validate referenced columns up front for decent error messages. *)
@@ -388,19 +388,20 @@ let execute db ast =
   match (ast.group_by, ast.projection) with
   | Some group, _ ->
     check group;
-    let groups = Query_exec.group_count ~by:group ~where:ast.where table in
+    let groups, stats = Query_exec.group_count_stats ~by:group ~where:ast.where table in
     let groups =
       match ast.limit with
       | None -> groups
       | Some n -> List.filteri (fun i _ -> i < n) groups
     in
-    {
-      columns = [ group; "count" ];
-      rows = List.map (fun (v, n) -> [ v; Value.Int n ]) groups;
-    }
+    ( {
+        columns = [ group; "count" ];
+        rows = List.map (fun (v, n) -> [ v; Value.Int n ]) groups;
+      },
+      stats )
   | None, `Aggregate Count_star ->
-    let n = Query_exec.count ~where:ast.where table in
-    { columns = [ "count" ]; rows = [ [ Value.Int n ] ] }
+    let n, stats = Query_exec.count_stats ~where:ast.where table in
+    ({ columns = [ "count" ]; rows = [ [ Value.Int n ] ] }, stats)
   | None, `Aggregate agg ->
     let col =
       match agg with
@@ -408,12 +409,13 @@ let execute db ast =
       | Count_star -> assert false
     in
     check col;
+    let hits, stats = Query_exec.select_stats ~where:ast.where table in
     let cells =
       List.filter_map
         (fun (_, row) ->
           let v = Row.get schema row col in
           if Value.is_null v then None else Some v)
-        (Query_exec.select ~where:ast.where table)
+        hits
     in
     let name, value =
       match agg with
@@ -432,10 +434,10 @@ let execute db ast =
         ("max", match cells with [] -> Value.Null | v :: r -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v r)
       | Count_star -> assert false
     in
-    { columns = [ name ]; rows = [ [ value ] ] }
+    ({ columns = [ name ]; rows = [ [ value ] ] }, stats)
   | None, ((`All | `Columns _) as projection) ->
-    let hits =
-      Query_exec.select ~where:ast.where ~order_by:ast.order_by ?limit:ast.limit table
+    let hits, stats =
+      Query_exec.select_stats ~where:ast.where ~order_by:ast.order_by ?limit:ast.limit table
     in
     let columns =
       match projection with
@@ -450,8 +452,9 @@ let execute db ast =
       | `All -> Value.Int rowid :: Array.to_list row
       | `Columns cols -> List.map (fun c -> Row.get schema row c) cols
     in
-    { columns; rows = List.map project hits }
+    ({ columns; rows = List.map project hits }, stats)
 
+let execute db ast = fst (execute_stats db ast)
 let query db input = execute db (parse input)
 
 let render result =
@@ -462,10 +465,40 @@ let render result =
   Provkit_util.Table_fmt.render ~header:result.columns
     (List.map (fun row -> List.map cell row) result.rows)
 
-let explain db input =
-  let ast = parse input in
-  let table = Database.table db ast.table in
-  match Query_exec.plan_for table ast.where with
+let plan_to_string = function
   | Query_exec.Full_scan -> "full scan"
   | Query_exec.Index_eq name -> Printf.sprintf "index %s (eq)" name
   | Query_exec.Index_range name -> Printf.sprintf "index %s (range)" name
+
+let explain db input =
+  let ast = parse input in
+  let table = Database.table db ast.table in
+  plan_to_string (Query_exec.plan_for table ast.where)
+
+type explain_report = {
+  table : string;
+  plan : Query_exec.plan;
+  estimated_rows : int;
+  stats : Query_exec.exec_stats;
+}
+
+let explain_query db input =
+  let ast = parse input in
+  let table = Database.table db ast.table in
+  let detail = Query_exec.plan_detail table ast.where in
+  let _, stats = execute_stats db ast in
+  { table = ast.table; plan = stats.Query_exec.plan;
+    estimated_rows = detail.Query_exec.estimated_rows; stats }
+
+let render_explain r =
+  let s = r.stats in
+  String.concat "\n"
+    [
+      Printf.sprintf "table:          %s" r.table;
+      Printf.sprintf "plan:           %s" (plan_to_string r.plan);
+      Printf.sprintf "estimated rows: %d" r.estimated_rows;
+      Printf.sprintf "rows scanned:   %d" s.Query_exec.rows_scanned;
+      Printf.sprintf "rows returned:  %d" s.Query_exec.rows_returned;
+      Printf.sprintf "latency:        %.3f ms"
+        (float_of_int s.Query_exec.elapsed_ns /. 1e6);
+    ]

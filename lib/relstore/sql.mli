@@ -45,12 +45,34 @@ val execute : Database.t -> ast -> result
 (** Raises {!Errors.No_such_table} / {!Errors.No_such_column} for
     references the schema cannot satisfy. *)
 
+val execute_stats : Database.t -> ast -> result * Query_exec.exec_stats
+(** {!execute} plus the executor's statistics (plan used, rows scanned
+    vs. returned, latency) for the query's table access. *)
+
 val query : Database.t -> string -> result
 (** [parse] + [execute]. *)
 
 val render : result -> string
 (** Aligned table with a header, for CLI display. *)
 
+val plan_to_string : Query_exec.plan -> string
+(** ["full scan"] or ["index <name> (eq|range)"]. *)
+
 val explain : Database.t -> string -> string
-(** The access path the planner chose: ["full scan"] or
-    ["index <name> (eq|range)"]. *)
+(** The access path the planner chose, without executing:
+    [plan_to_string (Query_exec.plan_for ...)] on the parsed query. *)
+
+type explain_report = {
+  table : string;
+  plan : Query_exec.plan;  (** always equals [Query_exec.plan_for] on the query *)
+  estimated_rows : int;  (** {!Query_exec.plan_detail}'s estimate *)
+  stats : Query_exec.exec_stats;
+}
+
+val explain_query : Database.t -> string -> explain_report
+(** Parse, plan, and {e execute} the query, returning the planner's
+    choice alongside measured rows scanned / returned and latency —
+    the [provctl sql --explain] surface. *)
+
+val render_explain : explain_report -> string
+(** Multi-line human-readable rendering of a report. *)

@@ -10,6 +10,8 @@ let () =
       ("util.zipf", Test_zipf.suite);
       ("util.table_fmt", Test_table_fmt.suite);
       ("util.crc32", Test_crc32.suite);
+      ("obs.metrics", Test_obs.suite);
+      ("obs.integration", Test_obs_integration.suite);
       ("util.faulty_io", Test_faulty_io.suite);
       ("relstore.codec", Test_relstore_codec.suite);
       ("relstore.codec_properties", Test_codec_properties.suite);

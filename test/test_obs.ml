@@ -1,0 +1,262 @@
+(* The observability registry: histogram quantile error bounds across
+   distribution shapes, counter monotonicity/saturation, the global off
+   switch, snapshot determinism, and the trace ring's bounded-memory
+   contract. *)
+
+module M = Provkit_obs.Metrics
+module T = Provkit_obs.Trace
+module Names = Provkit_obs.Names
+
+(* Metric names used only by this suite; the @obs-check lint covers
+   lib/ and bin/, so test-local names need not be in [Names.all]. *)
+let h_name = "test.obs.latency"
+
+let with_enabled f =
+  let was = M.enabled () in
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () -> M.set_enabled was) f
+
+(* --- quantile error bounds ------------------------------------------- *)
+
+(* The documented contract: [quantile h q] returns the inclusive upper
+   bound of the bucket holding the rank-ceil(q*n) order statistic, so
+   for true order statistic [x]:  x <= estimate <= x * (1 + 1/16) + 1. *)
+let check_quantile_brackets name samples =
+  with_enabled @@ fun () ->
+  M.reset ();
+  let h = M.histogram h_name in
+  Array.iter (M.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  (* observe clamps negatives to zero; mirror that in the oracle *)
+  let sorted = Array.map (fun v -> max 0 v) sorted in
+  let n = Array.length sorted in
+  List.iter
+    (fun q ->
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let true_q = sorted.(min (n - 1) (rank - 1)) in
+      let est = M.quantile h q in
+      let lo = float_of_int true_q in
+      let hi = (lo *. (1.0 +. (1.0 /. 16.0))) +. 1.0 in
+      if not (est >= lo && est <= hi) then
+        Alcotest.failf "%s: q=%.2f estimate %.1f outside [%.1f, %.1f] (n=%d)" name q
+          est lo hi n)
+    [ 0.5; 0.9; 0.95; 0.99; 1.0 ]
+
+let test_quantiles_constant () =
+  check_quantile_brackets "constant" (Array.make 500 1_000);
+  check_quantile_brackets "constant-zero" (Array.make 100 0);
+  check_quantile_brackets "constant-one" (Array.make 100 1)
+
+let test_quantiles_bimodal () =
+  let rng = Test_seed.prng ~salt:71 in
+  let samples =
+    Array.init 2_000 (fun _ ->
+        if Provkit_util.Prng.bool rng then 800 + Provkit_util.Prng.int rng 100
+        else 1_000_000 + Provkit_util.Prng.int rng 50_000)
+  in
+  check_quantile_brackets "bimodal" samples
+
+let test_quantiles_zipf () =
+  let rng = Test_seed.prng ~salt:72 in
+  let z = Provkit_util.Zipf.create ~n:10_000 ~s:1.1 in
+  let samples =
+    Array.init 3_000 (fun _ -> 100 * Provkit_util.Zipf.sample z rng)
+  in
+  check_quantile_brackets "zipf" samples
+
+let test_bucket_roundtrip () =
+  let rng = Test_seed.prng ~salt:73 in
+  for _ = 1 to 10_000 do
+    let v =
+      let magnitude = Provkit_util.Prng.int rng 40 in
+      Provkit_util.Prng.int rng (max 2 (1 lsl (min 60 magnitude)))
+    in
+    let lo, hi = M.bucket_bounds (M.bucket_of_value v) in
+    if not (lo <= v && v <= hi) then
+      Alcotest.failf "value %d outside its bucket bounds [%d, %d]" v lo hi;
+    (* log-linear width bound: buckets past the linear region are never
+       wider than lo/16 + 1 *)
+    if lo >= 16 && hi - lo > (lo / 16) + 1 then
+      Alcotest.failf "bucket [%d, %d] wider than the 1/16 contract" lo hi
+  done
+
+(* --- counters --------------------------------------------------------- *)
+
+let test_counter_saturation () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  let c = M.counter "test.obs.saturating" in
+  M.add c max_int;
+  Alcotest.(check int) "reaches max_int" max_int (M.value c);
+  M.add c max_int;
+  Alcotest.(check int) "saturates instead of wrapping" max_int (M.value c);
+  M.incr c;
+  Alcotest.(check int) "incr at ceiling stays put" max_int (M.value c)
+
+let test_counter_monotonic () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  let c = M.counter "test.obs.monotonic" in
+  M.add c 5;
+  M.add c (-3);
+  M.add c 0;
+  Alcotest.(check int) "non-positive deltas ignored" 5 (M.value c)
+
+let test_off_switch () =
+  let was = M.enabled () in
+  Fun.protect ~finally:(fun () -> M.set_enabled was) @@ fun () ->
+  M.set_enabled true;
+  M.reset ();
+  let c = M.counter "test.obs.switch" in
+  let h = M.histogram "test.obs.switch.hist" in
+  M.set_enabled false;
+  M.incr c;
+  M.add c 10;
+  M.observe h 42;
+  T.record "test.span" ~start_ns:0L ~dur_ns:1L;
+  let spans_before = M.counter_value Names.trace_spans in
+  M.set_enabled true;
+  Alcotest.(check int) "counter untouched while off" 0 (M.value c);
+  Alcotest.(check int) "histogram untouched while off" 0 (M.hist_count h);
+  M.set_enabled false;
+  T.record "test.span" ~start_ns:0L ~dur_ns:1L;
+  M.set_enabled true;
+  Alcotest.(check int) "tracer obeys the switch" spans_before
+    (M.counter_value Names.trace_spans)
+
+(* --- snapshots --------------------------------------------------------- *)
+
+let seeded_workload salt =
+  let rng = Test_seed.prng ~salt in
+  let c = M.counter "test.obs.snap.counter" in
+  let g = M.gauge "test.obs.snap.gauge" in
+  let h = M.histogram "test.obs.snap.hist" in
+  for _ = 1 to 500 do
+    M.add c (Provkit_util.Prng.int rng 10);
+    M.observe h (Provkit_util.Prng.int rng 1_000_000)
+  done;
+  M.set_gauge g (Provkit_util.Prng.float rng 100.0)
+
+let filter_test snap =
+  let mine (name, _) = String.length name >= 4 && String.sub name 0 4 = "test" in
+  ( List.filter mine snap.M.snap_counters,
+    List.filter mine snap.M.snap_gauges,
+    List.filter mine snap.M.snap_histograms )
+
+let test_snapshot_determinism () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  seeded_workload 74;
+  let first = filter_test (M.snapshot ()) in
+  Alcotest.(check bool) "snapshot is pure" true (first = filter_test (M.snapshot ()));
+  M.reset ();
+  seeded_workload 74;
+  let second = filter_test (M.snapshot ()) in
+  Alcotest.(check bool) "same seeded workload, same snapshot" true (first = second)
+
+let test_snapshot_sorted_and_json () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  seeded_workload 75;
+  let snap = M.snapshot () in
+  let sorted l = List.sort compare l = l in
+  Alcotest.(check bool) "counters sorted" true (sorted (List.map fst snap.M.snap_counters));
+  Alcotest.(check bool) "histograms sorted" true
+    (sorted (List.map fst snap.M.snap_histograms));
+  let json = M.to_json snap in
+  Alcotest.(check bool) "json names its sections" true
+    (let has needle =
+       let n = String.length needle in
+       let rec go i =
+         i + n <= String.length json && (String.sub json i n = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "\"counters\"" && has "\"gauges\"" && has "\"histograms\"")
+
+let test_reset_keeps_handles () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  let c = M.counter "test.obs.reset" in
+  M.add c 9;
+  M.reset ();
+  Alcotest.(check int) "zeroed in place" 0 (M.value c);
+  M.incr c;
+  Alcotest.(check int) "handle still live after reset" 1 (M.value c)
+
+(* --- names registry ---------------------------------------------------- *)
+
+let test_names_registered () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " is registered") true (Names.registered n);
+      (* the lint keys on this shape: a "prov." prefix and >= 2 dots *)
+      let dots = String.fold_left (fun acc ch -> if ch = '.' then acc + 1 else acc) 0 n in
+      Alcotest.(check bool) (n ^ " has lintable shape") true
+        (String.length n > 5 && String.sub n 0 5 = "prov." && dots >= 2))
+    Names.all;
+  Alcotest.(check bool) "unknown name rejected" false (Names.registered "prov.not.a.metric")
+
+(* --- trace ring --------------------------------------------------------- *)
+
+let test_trace_ring () =
+  with_enabled @@ fun () ->
+  M.reset ();
+  T.clear ();
+  let original = T.capacity () in
+  Fun.protect ~finally:(fun () ->
+      T.set_capacity original;
+      T.clear ())
+  @@ fun () ->
+  T.set_capacity 8;
+  for i = 1 to 20 do
+    T.record "test.span"
+      ~attrs:[ ("i", string_of_int i) ]
+      ~start_ns:(Int64.of_int i) ~dur_ns:1L
+  done;
+  let spans = T.recent () in
+  Alcotest.(check int) "ring keeps only the newest capacity spans" 8 (List.length spans);
+  Alcotest.(check bool) "oldest-first order" true
+    (let starts = List.map (fun s -> s.T.start_ns) spans in
+     List.sort compare starts = starts);
+  Alcotest.(check string) "newest span survives" "20"
+    (match List.rev spans with s :: _ -> List.assoc "i" s.T.attrs | [] -> "");
+  Alcotest.(check int) "drops counted" 12 (M.counter_value Names.trace_dropped);
+  Alcotest.(check int) "recorded counts every span" 20 (M.counter_value Names.trace_spans)
+
+let test_trace_sink_and_json () =
+  with_enabled @@ fun () ->
+  T.clear ();
+  let seen = ref [] in
+  T.set_sink (Some (fun s -> seen := s :: !seen));
+  Fun.protect ~finally:(fun () -> T.set_sink None) @@ fun () ->
+  T.with_span "test.sink" ~attrs:[ ("k", "v\"quoted\"") ] (fun () -> ()) |> ignore;
+  Alcotest.(check int) "sink saw the span" 1 (List.length !seen);
+  let json = T.span_to_json (List.hd !seen) in
+  Alcotest.(check bool) "json escapes attribute values" true
+    (let has needle =
+       let n = String.length needle in
+       let rec go i =
+         i + n <= String.length json && (String.sub json i n = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "\\\"quoted\\\"" && has "\"name\":\"test.sink\"")
+
+let suite =
+  [
+    Alcotest.test_case "quantiles: constant" `Quick test_quantiles_constant;
+    Alcotest.test_case "quantiles: bimodal" `Quick test_quantiles_bimodal;
+    Alcotest.test_case "quantiles: zipf" `Quick test_quantiles_zipf;
+    Alcotest.test_case "bucket bounds roundtrip" `Quick test_bucket_roundtrip;
+    Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+    Alcotest.test_case "global off switch" `Quick test_off_switch;
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "snapshot order + json" `Quick test_snapshot_sorted_and_json;
+    Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+    Alcotest.test_case "names registry" `Quick test_names_registered;
+    Alcotest.test_case "trace ring bounds" `Quick test_trace_ring;
+    Alcotest.test_case "trace sink + json" `Quick test_trace_sink_and_json;
+  ]

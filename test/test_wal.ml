@@ -230,14 +230,32 @@ let test_crash_point_sweep () =
     in
     go 0 ops
   in
+  (* Loading a journal appends each decoded op, so the journal-append
+     counter must advance by exactly the recovered-op count at every
+     cut — the metric is checked against ground truth across the whole
+     sweep. *)
+  let was_enabled = Provkit_obs.Metrics.enabled () in
+  Provkit_obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Provkit_obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
   for cut = 0 to String.length bytes do
+    let appends_before =
+      Provkit_obs.Metrics.counter_value Provkit_obs.Names.journal_appends
+    in
     let recovered =
       try PL.ops (PL.of_bytes (String.sub bytes 0 cut)) with
       | Relstore.Errors.Corrupt _ -> [] (* a cut inside the magic recovers nothing *)
     in
     if not (is_prefix recovered) then
       Alcotest.failf "cut at byte %d/%d recovered a non-prefix (%d ops)" cut
-        (String.length bytes) (List.length recovered)
+        (String.length bytes) (List.length recovered);
+    let appends_delta =
+      Provkit_obs.Metrics.counter_value Provkit_obs.Names.journal_appends
+      - appends_before
+    in
+    if appends_delta <> List.length recovered then
+      Alcotest.failf "cut at byte %d: append counter moved by %d for %d recovered ops"
+        cut appends_delta (List.length recovered)
   done
 
 let suite =

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# @obs-check: metric-name hygiene.
+#
+# lib/obs/names.ml is the single source of truth for metric names.  Any
+# string literal in lib/ or bin/ that looks like a metric name — a
+# "prov." prefix with at least two dots — must appear there, so a typo
+# in an instrumentation site fails the build instead of silently
+# creating a parallel metric.  Test code is exempt: suites may invent
+# scratch names.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+names_file="$root/lib/obs/names.ml"
+
+if [ ! -f "$names_file" ]; then
+  echo "obs-lint: $names_file not found" >&2
+  exit 1
+fi
+
+registered=$(grep -oE '"prov\.[a-z_.]+"' "$names_file" | sort -u)
+
+fail=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  rest=${hit#*:}
+  line=${rest%%:*}
+  literal=${rest#*:}
+  [ "$file" = "$names_file" ] && continue
+  if ! printf '%s\n' "$registered" | grep -qxF -- "$literal"; then
+    echo "obs-lint: $file:$line: unregistered metric name $literal (add it to lib/obs/names.ml)" >&2
+    fail=1
+  fi
+done < <(grep -rnoE '"prov\.[a-z_]+\.[a-z_]+(\.[a-z_]+)*"' "$root/lib" "$root/bin" --include='*.ml' 2>/dev/null)
+
+exit $fail
