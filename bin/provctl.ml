@@ -594,6 +594,33 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate every paper experiment table")
     Term.(const experiments $ seed_arg $ quick_arg)
 
+(* --- lint ------------------------------------------------------------ *)
+
+let lint root json =
+  let module L = Provkit_lint.Driver in
+  let findings = L.lint_tree ~root () in
+  if json then print_endline (L.render_json findings)
+  else begin
+    if findings <> [] then print_endline (L.render_text findings);
+    Printf.eprintf "provlint: %d finding(s) in %d file(s)\n" (List.length findings)
+      (List.length (L.tree_files ~root))
+  end;
+  if findings <> [] then exit 1
+
+let lint_root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root containing lib/ and bin/.")
+
+let lint_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON, one object per line.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the provlint static checks over lib/ and bin/ (see LINTING.md)")
+    Term.(const lint $ lint_root_arg $ lint_json_arg)
+
 let () =
   let doc = "browser provenance: capture, store and query (TaPP '09 reproduction)" in
   let info = Cmd.info "provctl" ~version:"1.0.0" ~doc in
@@ -603,5 +630,5 @@ let () =
           [
             generate_cmd; replay_cmd; stats_cmd; search_cmd; time_search_cmd; lineage_cmd;
             tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
-            experiments_cmd;
+            experiments_cmd; lint_cmd;
           ]))

@@ -265,7 +265,8 @@ let record_visit t (v : Event.visit) =
   let hidden =
     match v.transition with
     | Transition.Embed | Transition.Redirect_permanent | Transition.Redirect_temporary -> true
-    | _ -> false
+    | Transition.Link | Transition.Typed | Transition.Bookmark | Transition.Download
+    | Transition.Framed_link | Transition.Form_submit | Transition.Reload -> false
   in
   let place_id = find_or_create_place t ~url ~title:v.title ~hidden in
   let places_tbl = table t "moz_places" in

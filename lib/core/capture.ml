@@ -81,7 +81,9 @@ type t = {
 let displayed transition =
   match (transition : Transition.t) with
   | Transition.Embed | Transition.Download -> false
-  | _ -> true
+  | Transition.Link | Transition.Typed | Transition.Bookmark | Transition.Redirect_permanent
+  | Transition.Redirect_temporary | Transition.Framed_link | Transition.Form_submit
+  | Transition.Reload -> true
 
 let edge_kind_for config (transition : Transition.t) =
   match transition with

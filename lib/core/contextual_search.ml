@@ -75,7 +75,11 @@ let focused_subgraph config ~budget_nodes store seeds =
     match e.Prov_edge.kind with
     | Prov_edge.Same_time -> config.follow_time_edges
     | Prov_edge.Redirect | Prov_edge.Embed -> config.follow_non_user_edges
-    | _ -> true
+    | Prov_edge.Link_traversal | Prov_edge.Typed_traversal | Prov_edge.Bookmark_traversal
+    | Prov_edge.Bookmarked_from | Prov_edge.Form_source | Prov_edge.Form_result
+    | Prov_edge.Download_source | Prov_edge.Download_fetch | Prov_edge.Search_query
+    | Prov_edge.Searched_from | Prov_edge.Instance | Prov_edge.Tab_spawn
+    | Prov_edge.Reload -> true
   in
   let outcome =
     Provgraph.Traversal.bfs ~direction:Provgraph.Traversal.Both
@@ -175,7 +179,11 @@ let search ?(config = default_config) ?(budget = Query_budget.unlimited) ?(limit
     match e.Prov_edge.kind with
     | Prov_edge.Same_time -> config.follow_time_edges
     | Prov_edge.Redirect | Prov_edge.Embed -> config.follow_non_user_edges
-    | _ -> true
+    | Prov_edge.Link_traversal | Prov_edge.Typed_traversal | Prov_edge.Bookmark_traversal
+    | Prov_edge.Bookmarked_from | Prov_edge.Form_source | Prov_edge.Form_result
+    | Prov_edge.Download_source | Prov_edge.Download_fetch | Prov_edge.Search_query
+    | Prov_edge.Searched_from | Prov_edge.Instance | Prov_edge.Tab_spawn
+    | Prov_edge.Reload -> true
   in
   let expansion, expansion_truncated =
     if Query_budget.out_of_time running then (Hashtbl.create 1, true)

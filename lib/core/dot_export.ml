@@ -36,7 +36,10 @@ let edge_attributes (e : Prov_edge.t) =
     | Prov_edge.Redirect | Prov_edge.Embed -> [ ("style", "dashed") ]
     | Prov_edge.Same_time -> [ ("style", "dotted"); ("dir", "none") ]
     | Prov_edge.Instance -> [ ("style", "solid"); ("color", "gray") ]
-    | _ -> []
+    | Prov_edge.Link_traversal | Prov_edge.Typed_traversal | Prov_edge.Bookmark_traversal
+    | Prov_edge.Bookmarked_from | Prov_edge.Form_source | Prov_edge.Form_result
+    | Prov_edge.Download_source | Prov_edge.Download_fetch | Prov_edge.Search_query
+    | Prov_edge.Searched_from | Prov_edge.Tab_spawn | Prov_edge.Reload -> []
   in
   ("label", Prov_edge.kind_name e.Prov_edge.kind) :: style
 

@@ -66,7 +66,17 @@ let kind_name = function
   | Same_time -> "same-time"
   | Reload -> "reload"
 
-let is_causal = function Same_time -> false | _ -> true
+let is_causal = function
+  | Same_time -> false
+  | Link_traversal | Typed_traversal | Bookmark_traversal | Bookmarked_from | Redirect
+  | Embed | Form_source | Form_result | Download_source | Download_fetch | Search_query
+  | Searched_from | Instance | Tab_spawn | Reload -> true
+
+let is_traversal = function
+  | Instance | Same_time -> false
+  | Link_traversal | Typed_traversal | Bookmark_traversal | Bookmarked_from | Redirect
+  | Embed | Form_source | Form_result | Download_source | Download_fetch | Search_query
+  | Searched_from | Tab_spawn | Reload -> true
 
 let is_user_action = function
   | Link_traversal | Typed_traversal | Bookmark_traversal | Bookmarked_from

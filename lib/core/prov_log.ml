@@ -153,6 +153,15 @@ let encode_framed_op scratch op =
   encode_op scratch op;
   Buffer.contents scratch
 
+let decode_framed_op s pos =
+  let payload = C.read_frame s pos in
+  let p = ref 0 in
+  let op = decode_op payload p in
+  if !p <> String.length payload then
+    Relstore.Errors.corrupt "prov_log: %d trailing bytes inside frame"
+      (String.length payload - !p);
+  op
+
 let m_journal_appends = Obs.Metrics.counter Obs.Names.journal_appends
 
 let append t op =
@@ -169,18 +178,9 @@ let to_bytes t = Buffer.contents t.buf
    mode a bad record ends the scan (the crash-recovery prefix), in
    strict mode it raises. *)
 let decode_prefix ~tolerate_truncation s =
-  let decode_one_v2 s pos =
-    let payload = C.read_frame s pos in
-    let p = ref 0 in
-    let op = decode_op payload p in
-    if !p <> String.length payload then
-      Relstore.Errors.corrupt "prov_log: %d trailing bytes inside frame"
-        (String.length payload - !p);
-    op
-  in
   let decode_one =
     match format_version s with
-    | Some 2 -> decode_one_v2
+    | Some 2 -> decode_framed_op
     | Some 1 -> decode_op
     | _ -> Relstore.Errors.corrupt "prov_log: bad magic"
   in
@@ -372,7 +372,7 @@ module Segmented = struct
     h.manifest <- { h.manifest with segments = h.manifest.segments @ [ name ] };
     write_manifest ~dir:h.dir h.manifest
 
-  let load_manifest dir =
+  let read_manifest dir =
     let path = Filename.concat dir manifest_file in
     if Sys.file_exists path then decode_manifest (read_file path)
     else { generation = 0; snapshot = None; segments = [] }
@@ -389,7 +389,7 @@ module Segmented = struct
 
   let open_ ?(config = default_config) ?(make_sink = fun path -> Fio.to_file path) dir =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let manifest = load_manifest dir in
+    let manifest = read_manifest dir in
     let h =
       {
         dir;
@@ -483,7 +483,7 @@ module Segmented = struct
 
   let recover ~dir =
     Obs.Trace.with_span "wal.recover" ~attrs:[ ("dir", dir) ] (fun () ->
-    let manifest = load_manifest dir in
+    let manifest = read_manifest dir in
     let store =
       match manifest.snapshot with
       | None -> Prov_store.create ()

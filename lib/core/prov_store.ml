@@ -153,7 +153,9 @@ let page_hidden t page =
         match transition with
         | Browser.Transition.Embed | Browser.Transition.Redirect_permanent
         | Browser.Transition.Redirect_temporary -> true
-        | _ -> false
+        | Browser.Transition.Link | Browser.Transition.Typed | Browser.Transition.Bookmark
+        | Browser.Transition.Download | Browser.Transition.Framed_link
+        | Browser.Transition.Form_submit | Browser.Transition.Reload -> false
       end
       | _ -> false
     in

@@ -3,7 +3,10 @@ let displayed_visit (n : Prov_node.t) =
   | Prov_node.Visit { transition; _ } -> begin
     match transition with
     | Browser.Transition.Embed | Browser.Transition.Download -> false
-    | _ -> true
+    | Browser.Transition.Link | Browser.Transition.Typed | Browser.Transition.Bookmark
+    | Browser.Transition.Redirect_permanent | Browser.Transition.Redirect_temporary
+    | Browser.Transition.Framed_link | Browser.Transition.Form_submit
+    | Browser.Transition.Reload -> true
   end
   | _ -> false
 

@@ -35,9 +35,7 @@ let page_projection store =
         Digraph.add_node out id url
       end);
   Digraph.iter_edges g (fun src dst (e : Prov_edge.t) ->
-      match e.Prov_edge.kind with
-      | Prov_edge.Instance | Prov_edge.Same_time -> ()
-      | _ -> begin
+      if Prov_edge.is_traversal e.Prov_edge.kind then begin
         match (to_page src, to_page dst) with
         | Some ps, Some pd when ps <> pd -> Digraph.add_edge out ~src:ps ~dst:pd e
         | _ -> ()

@@ -15,6 +15,9 @@ let metrics_line () =
     Some (Provkit_obs.Metrics.headline (Provkit_obs.Metrics.snapshot ()))
   else None
 
+(* Printing to stdout is this module's entire purpose — it renders the
+   experiment tables EXPERIMENTS.md quotes — so the lib/-wide printf ban
+   is lifted for exactly this binding. *)
 let print t =
   Printf.printf "\n=== %s: %s ===\n" t.id t.title;
   Printf.printf "paper: %s\n\n" t.paper_claim;
@@ -22,6 +25,7 @@ let print t =
   List.iter (fun note -> Printf.printf "note: %s\n" note) t.notes;
   Option.iter (Printf.printf "instrumentation: %s\n") (metrics_line ());
   print_newline ()
+[@@provlint.allow "banned-constructs"]
 
 let fmt_ms ms = Printf.sprintf "%.2f ms" ms
 

@@ -1,0 +1,176 @@
+(* codec-symmetry: in the registered codec modules every encoder must
+   have a decoder, and the tag constants the encode side emits must be
+   matched on the decode side.
+
+   Pairing is by name: [encode_X] pairs with [decode_X], [write_X] with
+   [read_X].  Read-side helpers without a writer (e.g. [read_count]) are
+   legitimate — only the encode->decode direction is enforced.
+
+   Tag symmetry, per pair:
+   - every character literal in the encoder body (codec tags are emitted
+     with [Buffer.add_char buf '\NNN']) must appear in the decoder body,
+     as a match-case pattern or a compared literal;
+   - every integer literal passed to a [write_*]/[add_*] call in the
+     encoder must appear as an integer literal in the decoder;
+   - every reference to a top-level [tag_*] integer constant in the
+     encoder must also be referenced by the decoder (the named-constant
+     style of relstore/codec.ml).
+
+   This is the static half of what PR 1's corruption tests probe
+   dynamically: a skewed tag produces bytes the decoder can never
+   accept, silently corrupting lineage instead of failing the build. *)
+
+open Parsetree
+
+let id = "codec-symmetry"
+
+(* Top-level (and nested-module) value bindings, as (name, binding). *)
+let rec bindings_of_structure structure acc =
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.fold_left
+          (fun acc vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var name -> (name.txt, vb) :: acc
+            | _ -> acc)
+          acc vbs
+      | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+        bindings_of_structure s acc
+      | Pstr_recmodule mbs ->
+        List.fold_left
+          (fun acc mb ->
+            match mb.pmb_expr.pmod_desc with
+            | Pmod_structure s -> bindings_of_structure s acc
+            | _ -> acc)
+          acc mbs
+      | _ -> acc)
+    acc structure
+
+let int_const_of_binding vb =
+  match vb.pvb_expr.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> int_of_string_opt s
+  | _ -> None
+
+let last_of lid = Longident.last lid
+
+module SSet = Set.Make (String)
+module CSet = Set.Make (Char)
+module ISet = Set.Make (Int)
+
+type tags = {
+  mutable chars : CSet.t;  (* char literals anywhere in the body *)
+  mutable emitted_ints : ISet.t;  (* int literals passed to write_*/add_* *)
+  mutable ints : ISet.t;  (* int literals anywhere in the body *)
+  mutable tag_refs : SSet.t;  (* referenced tag_* constants *)
+}
+
+let scan_body expr =
+  let t =
+    { chars = CSet.empty; emitted_ints = ISet.empty; ints = ISet.empty; tag_refs = SSet.empty }
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_constant (Pconst_char c) -> t.chars <- CSet.add c t.chars
+          | Pexp_constant (Pconst_integer (s, None)) ->
+            Option.iter (fun n -> t.ints <- ISet.add n t.ints) (int_of_string_opt s)
+          | Pexp_ident { txt = lid; _ } ->
+            let name = last_of lid in
+            if Registry.has_prefix ~prefix:"tag" name then
+              t.tag_refs <- SSet.add name t.tag_refs
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, args) ->
+            let fname = last_of f in
+            if
+              Registry.has_prefix ~prefix:"write_" fname
+              || Registry.has_prefix ~prefix:"add_" fname
+            then
+              List.iter
+                (fun (_, arg) ->
+                  match arg.pexp_desc with
+                  | Pexp_constant (Pconst_integer (s, None)) ->
+                    Option.iter
+                      (fun n -> t.emitted_ints <- ISet.add n t.emitted_ints)
+                      (int_of_string_opt s)
+                  | _ -> ())
+                args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_constant (Pconst_char c) -> t.chars <- CSet.add c t.chars
+          | Ppat_constant (Pconst_integer (s, None)) ->
+            Option.iter (fun n -> t.ints <- ISet.add n t.ints) (int_of_string_opt s)
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.expr it expr;
+  t
+
+let decoder_name encoder =
+  if Registry.has_prefix ~prefix:"encode_" encoder then
+    Some ("decode_" ^ String.sub encoder 7 (String.length encoder - 7))
+  else if Registry.has_prefix ~prefix:"write_" encoder then
+    Some ("read_" ^ String.sub encoder 6 (String.length encoder - 6))
+  else None
+
+let run ~file structure =
+  if not (List.mem (Filename.basename file) Registry.codec_basenames) then []
+  else begin
+    let bindings = bindings_of_structure structure [] in
+    (* Named integer constants participate in tag symmetry only when
+       they follow the tag_* convention, so sizes and versions don't. *)
+    let tag_consts =
+      List.filter_map
+        (fun (name, vb) ->
+          if Registry.has_prefix ~prefix:"tag" name && int_const_of_binding vb <> None then
+            Some name
+          else None)
+        bindings
+    in
+    let findings = ref [] in
+    let emit loc message =
+      findings := Source.finding ~check:id ~file loc message :: !findings
+    in
+    List.iter
+      (fun (name, vb) ->
+        match decoder_name name with
+        | None -> ()
+        | Some decoder -> begin
+          match List.assoc_opt decoder bindings with
+          | None ->
+            emit vb.pvb_loc
+              (Printf.sprintf "%s has no matching %s in this codec module" name decoder)
+          | Some dvb ->
+            let enc = scan_body vb.pvb_expr in
+            let dec = scan_body dvb.pvb_expr in
+            CSet.iter
+              (fun c ->
+                if not (CSet.mem c dec.chars) then
+                  emit vb.pvb_loc
+                    (Printf.sprintf "%s emits tag '\\%03d' that %s never matches" name
+                       (Char.code c) decoder))
+              enc.chars;
+            ISet.iter
+              (fun n ->
+                if not (ISet.mem n dec.ints) then
+                  emit vb.pvb_loc
+                    (Printf.sprintf "%s emits tag %d that %s never matches" name n decoder))
+              enc.emitted_ints;
+            SSet.iter
+              (fun tag ->
+                if List.mem tag tag_consts && not (SSet.mem tag dec.tag_refs) then
+                  emit vb.pvb_loc
+                    (Printf.sprintf "%s references tag constant %s that %s never checks" name
+                       tag decoder))
+              enc.tag_refs
+        end)
+      bindings;
+    !findings
+  end

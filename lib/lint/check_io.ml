@@ -1,0 +1,60 @@
+(* io-discipline: library code must not reach for Unix directly.  File
+   writes go through Provkit_util.Faulty_io (so the fault-injection
+   crash tests exercise the same code paths production uses) and clocks
+   go through Provkit_util.Timing (so latencies come from the monotonic
+   source, not a wall clock an NTP step can run backwards).  Only those
+   two modules may touch Unix; everything else under lib/ is flagged. *)
+
+open Parsetree
+
+let id = "io-discipline"
+
+let is_unix lid =
+  match Longident.flatten lid with
+  | ("Unix" | "UnixLabels") :: _ -> true
+  | _ -> false
+
+let message what =
+  Printf.sprintf
+    "direct Unix access (%s) in lib/: route file I/O through Provkit_util.Faulty_io and \
+     clocks through Provkit_util.Timing"
+    what
+
+let applies ~file =
+  Registry.in_lib file
+  && not (List.mem (Filename.basename file) Registry.io_exempt_basenames)
+
+let run ~file structure =
+  if not (applies ~file) then []
+  else begin
+    let findings = ref [] in
+    let emit loc what = findings := Source.finding ~check:id ~file loc (message what) :: !findings in
+    let check_module_expr (me : module_expr) =
+      match me.pmod_desc with
+      | Pmod_ident { txt = lid; _ } when is_unix lid ->
+        emit me.pmod_loc (String.concat "." (Longident.flatten lid))
+      | _ -> ()
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt = lid; _ } when is_unix lid ->
+              emit e.pexp_loc (String.concat "." (Longident.flatten lid))
+            | Pexp_open (od, _) -> check_module_expr od.popen_expr
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+        structure_item =
+          (fun it item ->
+            (match item.pstr_desc with
+            | Pstr_open od -> check_module_expr od.popen_expr
+            | Pstr_module { pmb_expr; _ } -> check_module_expr pmb_expr
+            | _ -> ());
+            Ast_iterator.default_iterator.structure_item it item);
+      }
+    in
+    it.structure it structure;
+    !findings
+  end

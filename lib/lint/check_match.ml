@@ -1,0 +1,85 @@
+(* no-wildcard-match: a match over a provenance-critical variant
+   (Registry.critical_variants) must enumerate constructors instead of
+   ending in a wildcard.  With a wildcard, adding an event kind, a
+   transition, or an edge kind compiles cleanly while the new case is
+   silently dropped at capture/query sites — the exact
+   capture-completeness failure the paper warns about.
+
+   A match is "over" a registered variant when any top-level case
+   pattern (looking through or-patterns, aliases, constraints and tuple
+   components, but not into constructor arguments) names one of its
+   constructors, qualified with the registered module name — or
+   unqualified inside the variant's own defining file.  Nested uses like
+   [Some Prov_edge.Redirect] are deliberately out of scope: only direct
+   enumerations of the scrutinee are enforced. *)
+
+open Parsetree
+
+let id = "no-wildcard-match"
+
+let rec heads pat =
+  match pat.ppat_desc with
+  | Ppat_or (a, b) -> heads a @ heads b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) -> heads p
+  | Ppat_tuple ps -> List.concat_map heads ps
+  | Ppat_construct (lid, _) -> [ lid.txt ]
+  | _ -> []
+
+let rec is_wild pat =
+  match pat.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) -> is_wild p
+  | Ppat_or (a, b) -> is_wild a || is_wild b
+  | Ppat_tuple ps -> List.for_all is_wild ps
+  | _ -> false
+
+let variant_of ~base lid =
+  let find pred = List.find_opt pred Registry.critical_variants in
+  match lid with
+  | Longident.Ldot (path, c) ->
+    let path_last =
+      match List.rev (Longident.flatten path) with last :: _ -> last | [] -> ""
+    in
+    find (fun v -> v.Registry.module_name = path_last && List.mem c v.Registry.constructors)
+  | Longident.Lident c ->
+    find (fun v -> v.Registry.defining_file = base && List.mem c v.Registry.constructors)
+  | Longident.Lapply _ -> None
+
+let check_cases ~file ~base cases acc =
+  let variants =
+    List.concat_map
+      (fun case -> List.filter_map (variant_of ~base) (heads case.pc_lhs))
+      cases
+  in
+  match variants with
+  | [] -> acc
+  | v :: _ ->
+    List.fold_left
+      (fun acc case ->
+        if is_wild case.pc_lhs then
+          Source.finding ~check:id ~file case.pc_lhs.ppat_loc
+            (Printf.sprintf
+               "wildcard case in a match over %s: enumerate its constructors so a new one \
+                cannot be silently dropped"
+               v.Registry.type_name)
+          :: acc
+        else acc)
+      acc cases
+
+let run ~file structure =
+  let base = Filename.basename file in
+  let findings = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_match (_, cases) | Pexp_function cases ->
+            findings := check_cases ~file ~base cases !findings
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure;
+  !findings

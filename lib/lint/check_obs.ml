@@ -1,0 +1,114 @@
+(* obs-names: AST-accurate metric-name hygiene, replacing the old
+   grep-based tools/obs_lint.sh.
+
+   lib/obs/names.ml is the single source of truth for metric names.
+   Two directions are enforced:
+
+   - every string literal shaped like a metric name ("prov." plus at
+     least two more dotted segments) appearing in lib/ or bin/ must be
+     declared there — a typo at an instrumentation site fails the build
+     instead of silently creating a parallel metric;
+   - every declared name must actually be recorded somewhere in lib/ or
+     bin/ (referenced as [Names.x] / [Obs.Names.x], or as the literal
+     itself) — the inverse check grep could not express: a registered
+     but never-recorded metric is a dashboard lying about coverage.
+
+   Unlike the grep, literals in comments are invisible here, and test
+   code remains exempt (suites may invent scratch names). *)
+
+open Parsetree
+
+let id = "obs-names"
+
+module SSet = Set.Make (String)
+
+(* Top-level [let name = "prov.x.y"] bindings of the names module. *)
+let registry_of structure =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.filter_map
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+            | Ppat_var name, Pexp_constant (Pconst_string (s, _, _))
+              when Registry.is_metric_literal s -> Some (name.txt, s, vb.pvb_loc)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    structure
+
+type uses = { mutable idents : SSet.t; mutable literals : SSet.t }
+
+let scan_uses structure uses =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Ldot (path, x); _ } -> begin
+            match List.rev (Longident.flatten path) with
+            | "Names" :: _ -> uses.idents <- SSet.add x uses.idents
+            | _ -> ()
+          end
+          | Pexp_constant (Pconst_string (s, _, _)) when Registry.is_metric_literal s ->
+            uses.literals <- SSet.add s uses.literals
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure
+
+let literal_findings ~file structure registered =
+  let findings = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_constant (Pconst_string (s, _, _))
+            when Registry.is_metric_literal s && not (SSet.mem s registered) ->
+            findings :=
+              Source.finding ~check:id ~file e.pexp_loc
+                (Printf.sprintf "unregistered metric name %S: add it to lib/obs/names.ml" s)
+              :: !findings
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure;
+  !findings
+
+(* [files] are (relative path, parsed structure) pairs for the tree. *)
+let run files =
+  match List.find_opt (fun (rel, _) -> Registry.is_metric_names_file rel) files with
+  | None -> []
+  | Some (names_rel, names_structure) ->
+    let registry = registry_of names_structure in
+    let registered = SSet.of_list (List.map (fun (_, s, _) -> s) registry) in
+    let others =
+      List.filter
+        (fun (rel, _) ->
+          rel <> names_rel && (Registry.in_lib rel || Registry.in_bin rel))
+        files
+    in
+    let uses = { idents = SSet.empty; literals = SSet.empty } in
+    List.iter (fun (_, structure) -> scan_uses structure uses) others;
+    let unregistered =
+      List.concat_map (fun (rel, structure) -> literal_findings ~file:rel structure registered) others
+    in
+    let unused =
+      List.filter_map
+        (fun (name, literal, loc) ->
+          if SSet.mem name uses.idents || SSet.mem literal uses.literals then None
+          else
+            Some
+              (Source.finding ~check:id ~file:names_rel loc
+                 (Printf.sprintf
+                    "metric %s (%S) is registered but never recorded in lib/ or bin/" name
+                    literal)))
+        registry
+    in
+    unregistered @ unused

@@ -1,0 +1,99 @@
+(* The provlint driver: discover sources under a root, parse them once,
+   run the selected checks, apply [@provlint.allow] suppressions, and
+   return findings in a stable order. *)
+
+let all_checks =
+  [
+    (Check_codec.id, "every encoder has a decoder and their tag constants agree");
+    (Check_match.id, "no wildcard case in matches over provenance-critical variants");
+    (Check_io.id, "lib/ reaches Unix only through Faulty_io and Timing");
+    (Check_banned.id, "no Obj.magic, lib/ printf, polymorphic Value compare, catch-all handler");
+    (Check_obs.id, "metric-name literals and the lib/obs/names.ml registry agree both ways");
+  ]
+
+let check_ids = List.map fst all_checks
+
+let per_file_checks ~file structure =
+  Check_codec.run ~file structure
+  @ Check_match.run ~file structure
+  @ Check_io.run ~file structure
+  @ Check_banned.run ~file structure
+
+(* --- tree walking --- *)
+
+let rec walk root rel acc =
+  let dir = Filename.concat root rel in
+  Array.fold_left
+    (fun acc entry ->
+      if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+      else begin
+        let rel = rel ^ "/" ^ entry in
+        let path = Filename.concat root rel in
+        if Sys.is_directory path then walk root rel acc
+        else if Filename.check_suffix entry ".ml" then rel :: acc
+        else acc
+      end)
+    acc
+    (let entries = Sys.readdir dir in
+     Array.sort String.compare entries;
+     entries)
+
+let tree_files ~root =
+  List.sort String.compare
+    (List.fold_left
+       (fun acc top ->
+         if Sys.file_exists (Filename.concat root top) then walk root top acc else acc)
+       [] [ "lib"; "bin" ])
+
+(* --- linting --- *)
+
+let selected checks (f : Finding.t) =
+  f.Finding.check = "parse-error" || List.mem f.Finding.check checks
+
+let finish ~checks per_file_findings parsed =
+  let spans = List.map (fun (rel, structure) -> (rel, Suppress.collect structure)) parsed in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        selected checks f
+        &&
+        match List.assoc_opt f.Finding.file spans with
+        | Some s -> not (Suppress.suppressed s f)
+        | None -> true)
+      per_file_findings
+  in
+  List.sort_uniq Finding.compare kept
+
+let lint_files ?(checks = check_ids) ~root rels =
+  let parsed, parse_findings =
+    List.fold_left
+      (fun (parsed, errs) rel ->
+        match Source.parse_string ~filename:rel (Source.read_file (Filename.concat root rel)) with
+        | Ok structure -> ((rel, structure) :: parsed, errs)
+        | Error f -> (parsed, f :: errs))
+      ([], []) rels
+  in
+  let parsed = List.rev parsed in
+  let findings =
+    List.concat_map (fun (rel, structure) -> per_file_checks ~file:rel structure) parsed
+    @ (if List.mem Check_obs.id checks then Check_obs.run parsed else [])
+    @ parse_findings
+  in
+  finish ~checks findings parsed
+
+let lint_tree ?checks ~root () = lint_files ?checks ~root (tree_files ~root)
+
+let lint_source ?(checks = check_ids) ~filename source =
+  match Source.parse_string ~filename source with
+  | Error f -> [ f ]
+  | Ok structure ->
+    finish ~checks (per_file_checks ~file:filename structure) [ (filename, structure) ]
+
+(* --- rendering --- *)
+
+let render_text findings = String.concat "\n" (List.map Finding.to_string findings)
+
+let render_json findings =
+  match findings with
+  | [] -> "[]"
+  | fs -> "[\n" ^ String.concat ",\n" (List.map Finding.to_json fs) ^ "\n]"

@@ -1,0 +1,30 @@
+(** The provlint driver: parse sources with the compiler's own parser,
+    run the registered checks, honor [@provlint.allow] suppressions.
+    See LINTING.md for the check catalogue. *)
+
+val all_checks : (string * string) list
+(** [(check id, one-line description)] for every registered check. *)
+
+val check_ids : string list
+
+val tree_files : root:string -> string list
+(** Every [.ml] file under [root/lib] and [root/bin], as sorted
+    root-relative paths. *)
+
+val lint_files : ?checks:string list -> root:string -> string list -> Finding.t list
+(** Lint the given root-relative files.  Cross-file checks (obs-names)
+    see exactly this file set. *)
+
+val lint_tree : ?checks:string list -> root:string -> unit -> Finding.t list
+(** [lint_files] over [tree_files]. *)
+
+val lint_source : ?checks:string list -> filename:string -> string -> Finding.t list
+(** Lint one in-memory source.  [filename] drives file classification
+    (lib/ vs bin/, codec module, sanctioned I/O layer); cross-file
+    checks do not run.  Used by the fixture tests. *)
+
+val render_text : Finding.t list -> string
+
+val render_json : Finding.t list -> string
+(** A JSON array with one finding object per line — the stable format
+    tools/lint_gate.sh diffs against the committed baseline. *)

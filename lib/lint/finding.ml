@@ -1,0 +1,55 @@
+type severity = Error | Warning
+
+type t = {
+  check : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  message : string;
+}
+
+let v ~check ?(severity = Error) ~file ~line ~col message =
+  { check; file; line; col; severity; message }
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.check b.check in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col f.check
+    (severity_name f.severity) f.message
+
+(* Hand-rolled JSON escaping: the gate script diffs findings line by
+   line, so the encoding must be deterministic and dependency-free. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    {|{"check":"%s","file":"%s","line":%d,"col":%d,"severity":"%s","message":"%s"}|}
+    (json_escape f.check) (json_escape f.file) f.line f.col
+    (severity_name f.severity) (json_escape f.message)

@@ -1,0 +1,28 @@
+(** One static-analysis finding: which check fired, where, and why. *)
+
+type severity = Error | Warning
+
+type t = {
+  check : string;  (** check id, e.g. ["codec-symmetry"] *)
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as compilers print them *)
+  severity : severity;
+  message : string;
+}
+
+val v :
+  check:string -> ?severity:severity -> file:string -> line:int -> col:int -> string -> t
+
+val severity_name : severity -> string
+
+val compare : t -> t -> int
+(** Orders by file, line, column, check, message — the stable order the
+    baseline gate relies on. *)
+
+val to_string : t -> string
+(** [file:line:col: [check] severity: message], clickable in editors. *)
+
+val to_json : t -> string
+(** A single-line JSON object; one finding per line so the baseline
+    gate can diff output textually. *)

@@ -1,0 +1,80 @@
+(* The lint registry: which types, files and names the checks treat as
+   provenance-critical.  Kept as data so adding a variant or a codec
+   module is a one-line change (see LINTING.md). *)
+
+(* --- provenance-critical variants (no-wildcard-match) --- *)
+
+type variant = {
+  type_name : string;  (* how the finding names the type *)
+  module_name : string;  (* last path component qualifying its constructors *)
+  defining_file : string;  (* basename whose unqualified constructors count *)
+  constructors : string list;
+}
+
+let critical_variants =
+  [
+    {
+      type_name = "Browser.Event.t";
+      module_name = "Event";
+      defining_file = "event.ml";
+      constructors =
+        [
+          "Visit"; "Close"; "Tab_opened"; "Tab_closed"; "Bookmark_added"; "Search";
+          "Download_started"; "Form_submitted";
+        ];
+    };
+    {
+      type_name = "Browser.Transition.t";
+      module_name = "Transition";
+      defining_file = "transition.ml";
+      constructors =
+        [
+          "Link"; "Typed"; "Bookmark"; "Embed"; "Redirect_permanent"; "Redirect_temporary";
+          "Download"; "Framed_link"; "Form_submit"; "Reload";
+        ];
+    };
+    {
+      type_name = "Core.Prov_edge.kind";
+      module_name = "Prov_edge";
+      defining_file = "prov_edge.ml";
+      constructors =
+        [
+          "Link_traversal"; "Typed_traversal"; "Bookmark_traversal"; "Bookmarked_from";
+          "Redirect"; "Embed"; "Form_source"; "Form_result"; "Download_source";
+          "Download_fetch"; "Search_query"; "Searched_from"; "Instance"; "Tab_spawn";
+          "Same_time"; "Reload";
+        ];
+    };
+  ]
+
+(* --- codec modules (codec-symmetry) --- *)
+
+let codec_basenames = [ "codec.ml"; "event_codec.ml"; "prov_log.ml" ]
+
+(* --- sanctioned I/O layers (io-discipline) --- *)
+
+let io_exempt_basenames = [ "faulty_io.ml"; "timing.ml" ]
+
+(* --- paths --- *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+let in_lib rel = has_prefix ~prefix:"lib/" rel
+let in_bin rel = has_prefix ~prefix:"bin/" rel
+let is_metric_names_file rel = has_suffix ~suffix:"obs/names.ml" rel
+
+(* --- metric-name shape (obs-names) --- *)
+
+(* A registered metric name is "prov." followed by at least two more
+   dot-separated [a-z_]+ segments — the same shape the old grep-based
+   @obs-check enforced, so short literals like "prov.db" never collide. *)
+let is_metric_literal s =
+  let seg_ok seg = seg <> "" && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '_') seg in
+  match String.split_on_char '.' s with
+  | "prov" :: (_ :: _ :: _ as rest) -> List.for_all seg_ok rest
+  | _ -> false

@@ -1,0 +1,29 @@
+(* Parsing front end: turn a source file into a Parsetree.structure
+   using the compiler's own parser, so every check sees exactly what the
+   compiler sees (comments and formatting invisible, attributes kept). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
+
+let finding ~check ?severity ~file (loc : Location.t) message =
+  Finding.v ~check ?severity ~file ~line:(line_of loc) ~col:(col_of loc) message
+
+let parse_string ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error _ ->
+    let p = lexbuf.Lexing.lex_curr_p in
+    Error
+      (Finding.v ~check:"parse-error" ~file:filename ~line:p.Lexing.pos_lnum
+         ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+         "syntax error")
+  | exception Lexer.Error (_, loc) ->
+    Error (finding ~check:"parse-error" ~file:filename loc "lexical error")

@@ -65,8 +65,17 @@ let lex input =
       done;
       let text = String.sub input start (!i - start) in
       if !is_float then
-        emit (Tfloat (try float_of_string text with _ -> parse_error "bad number %S" text))
-      else emit (Tint (try int_of_string text with _ -> parse_error "bad number %S" text))
+        emit
+          (Tfloat
+             (match float_of_string_opt text with
+             | Some f -> f
+             | None -> parse_error "bad number %S" text))
+      else
+        emit
+          (Tint
+             (match int_of_string_opt text with
+             | Some n -> n
+             | None -> parse_error "bad number %S" text))
     end
     else if is_ident_char c then begin
       let start = !i in

@@ -39,4 +39,5 @@ let () =
       ("core.sessions_dot", Test_sessions_dot.suite);
       ("core.retention", Test_retention.suite);
       ("harness", Test_harness.suite);
+      ("lint", Test_provlint.suite);
     ]

@@ -1,0 +1,319 @@
+(* provlint: per-check fixtures (one flagging, one suppressed), the
+   obs-names cross-file checks on a scratch tree, grep parity with the
+   retired tools/obs_lint.sh, and the integration guarantee that the
+   real tree is clean. *)
+
+module Driver = Provkit_lint.Driver
+module Finding = Provkit_lint.Finding
+module Registry = Provkit_lint.Registry
+
+let lint ?checks ~filename source = Driver.lint_source ?checks ~filename source
+
+let count check findings =
+  List.length (List.filter (fun f -> f.Finding.check = check) findings)
+
+let check_count msg check expected findings =
+  Alcotest.(check int) msg expected (count check findings)
+
+(* --- codec-symmetry -------------------------------------------------- *)
+
+let codec_flagging () =
+  let src =
+    {|
+let encode_foo buf = Buffer.add_char buf '\001'
+let decode_foo s = match s.[0] with '\002' -> 2 | _ -> 0
+let write_orphan buf = Buffer.add_char buf '\002'
+|}
+  in
+  let fs = lint ~filename:"lib/relstore/codec.ml" src in
+  check_count "skewed tag + missing reader" "codec-symmetry" 2 fs;
+  Alcotest.(check bool)
+    "mentions the skewed tag" true
+    (List.exists
+       (fun f -> Provkit_util.Strutil.contains_substring ~needle:"'\\001'" f.Finding.message)
+       fs)
+
+let codec_suppressed () =
+  let src =
+    {|
+let encode_foo buf = Buffer.add_char buf '\001' [@@provlint.allow "codec-symmetry"]
+let decode_foo s = match s.[0] with '\002' -> 2 | _ -> 0
+let write_orphan buf = Buffer.add_char buf '\002' [@@provlint.allow "codec-symmetry"]
+|}
+  in
+  check_count "suppressed" "codec-symmetry" 0 (lint ~filename:"lib/relstore/codec.ml" src)
+
+let codec_only_in_codec_files () =
+  let src = {|let encode_foo buf = Buffer.add_char buf '\001'|} in
+  check_count "non-codec file exempt" "codec-symmetry" 0 (lint ~filename:"lib/foo.ml" src)
+
+(* --- no-wildcard-match ----------------------------------------------- *)
+
+let match_flagging () =
+  let src =
+    {|
+let f e = match e with Browser.Event.Visit _ -> 1 | _ -> 0
+let g t = match t with Browser.Transition.Link -> 1 | _ -> 0
+let h k = match k with Prov_edge.Redirect -> 1 | _ -> 0
+|}
+  in
+  check_count "three wildcards over critical variants" "no-wildcard-match" 3
+    (lint ~filename:"lib/foo.ml" src)
+
+let match_suppressed () =
+  let src =
+    {|
+let f e = (match e with Browser.Event.Visit _ -> 1 | _ -> 0) [@provlint.allow "no-wildcard-match"]
+|}
+  in
+  check_count "suppressed" "no-wildcard-match" 0 (lint ~filename:"lib/foo.ml" src)
+
+let match_other_variants_free () =
+  let src = {|let f o = match o with Some x -> x | _ -> 0|} in
+  check_count "non-critical variants exempt" "no-wildcard-match" 0
+    (lint ~filename:"lib/foo.ml" src)
+
+(* --- io-discipline --------------------------------------------------- *)
+
+let io_flagging () =
+  let src = {|let now () = Unix.gettimeofday ()|} in
+  check_count "Unix in lib/" "io-discipline" 1 (lint ~filename:"lib/core/foo.ml" src)
+
+let io_suppressed () =
+  let src = {|let now () = Unix.gettimeofday () [@@provlint.allow "io-discipline"]|} in
+  check_count "suppressed" "io-discipline" 0 (lint ~filename:"lib/core/foo.ml" src)
+
+let io_sanctioned_layers () =
+  let src = {|let now () = Unix.gettimeofday ()|} in
+  check_count "bin/ exempt" "io-discipline" 0 (lint ~filename:"bin/tool.ml" src);
+  check_count "Timing exempt" "io-discipline" 0 (lint ~filename:"lib/util/timing.ml" src);
+  check_count "Faulty_io exempt" "io-discipline" 0
+    (lint ~filename:"lib/util/faulty_io.ml" src)
+
+(* --- banned-constructs ----------------------------------------------- *)
+
+let banned_flagging () =
+  let src =
+    {|
+let f x = Obj.magic x
+let g h = try h () with _ -> 0
+let p () = Printf.printf "hi"
+let eq a = a = Value.Null
+|}
+  in
+  check_count "magic + catch-all + printf + poly =" "banned-constructs" 4
+    (lint ~filename:"lib/foo.ml" src)
+
+let banned_suppressed () =
+  let src =
+    {|
+let f x = (Obj.magic x [@provlint.allow "banned-constructs"])
+let g h = (try h () with _ -> 0) [@provlint.allow "banned-constructs"]
+|}
+  in
+  check_count "suppressed" "banned-constructs" 0 (lint ~filename:"lib/foo.ml" src)
+
+let banned_bin_printf_ok () =
+  let src = {|let p () = Printf.printf "hi"|} in
+  check_count "printf fine in bin/" "banned-constructs" 0 (lint ~filename:"bin/tool.ml" src)
+
+(* --- obs-names (cross-file, on a scratch tree) ----------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let scratch_tree tag files =
+  let root =
+    Filename.concat (Sys.getcwd ()) ("provlint_fixture_" ^ tag)
+  in
+  ensure_dir root;
+  List.iter
+    (fun (rel, contents) ->
+      let rec mkdirs dir =
+        if dir <> root && dir <> "." && dir <> "/" then begin
+          mkdirs (Filename.dirname dir);
+          ensure_dir dir
+        end
+      in
+      let path = Filename.concat root rel in
+      mkdirs (Filename.dirname path);
+      write_file path contents)
+    files;
+  root
+
+let names_fixture =
+  {|
+let used = "prov.fixture.used"
+let unused = "prov.fixture.unused"
+|}
+
+let obs_flagging () =
+  let root =
+    scratch_tree "obs_flag"
+      [
+        ("lib/obs/names.ml", names_fixture);
+        ( "lib/user.ml",
+          {|
+let () = ignore Obs.Names.used
+let stray = "prov.fixture.stray"
+|} );
+      ]
+  in
+  let fs =
+    Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
+  in
+  check_count "stray literal + unused registration" "obs-names" 2 fs;
+  let has needle =
+    List.exists (fun f -> Provkit_util.Strutil.contains_substring ~needle f.Finding.message) fs
+  in
+  Alcotest.(check bool) "flags the stray literal" true (has "prov.fixture.stray");
+  Alcotest.(check bool) "flags the unused registration" true (has "prov.fixture.unused")
+
+let obs_suppressed () =
+  let root =
+    scratch_tree "obs_ok"
+      [
+        ("lib/obs/names.ml", names_fixture);
+        ( "lib/user.ml",
+          {|
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.unused
+let stray = "prov.fixture.stray" [@@provlint.allow "obs-names"]
+|} );
+      ]
+  in
+  let fs =
+    Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
+  in
+  check_count "suppressed + all registered names used" "obs-names" 0 fs
+
+(* --- grep parity with the retired tools/obs_lint.sh ------------------ *)
+
+(* The old gate grepped lib/ and bin/ for string literals shaped like
+   metric names and required each to be declared in lib/obs/names.ml.
+   Reproduce that textual scan here and assert every name it finds
+   undeclared is also reported by the AST check — provlint must be a
+   superset of the grep before the grep can be deleted. *)
+
+let quoted_literals text =
+  let out = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '"' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && text.[!j] <> '"' do
+        if text.[!j] = '\\' then incr j;
+        incr j
+      done;
+      if !j <= n then out := String.sub text start (min !j n - start) :: !out;
+      i := !j + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let grep_style_undeclared ~root files =
+  let metric_literals rel =
+    List.filter Registry.is_metric_literal (quoted_literals (read_whole (Filename.concat root rel)))
+  in
+  let declared = metric_literals "lib/obs/names.ml" in
+  List.concat_map
+    (fun rel ->
+      if Registry.is_metric_names_file rel then []
+      else List.filter (fun s -> not (List.mem s declared)) (metric_literals rel))
+    files
+
+let grep_parity () =
+  let files =
+    [
+      ("lib/obs/names.ml", names_fixture);
+      ( "lib/user.ml",
+        {|
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.unused
+let a = "prov.fixture.stray"
+let b = "prov.fixture.also_stray"
+|} );
+    ]
+  in
+  let root = scratch_tree "obs_parity" files in
+  let rels = List.map fst files in
+  let grep_found = grep_style_undeclared ~root rels in
+  Alcotest.(check int) "grep finds both strays" 2 (List.length grep_found);
+  let provlint_found = Driver.lint_files ~checks:[ "obs-names" ] ~root rels in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "provlint also reports %s" name)
+        true
+        (List.exists
+           (fun f -> Provkit_util.Strutil.contains_substring ~needle:name f.Finding.message)
+           provlint_found))
+    grep_found
+
+(* --- rendering ------------------------------------------------------- *)
+
+let json_rendering () =
+  let fs = lint ~filename:"lib/foo.ml" {|let f x = Obj.magic x|} in
+  let json = Driver.render_json fs in
+  Alcotest.(check bool) "names the check" true
+    (Provkit_util.Strutil.contains_substring ~needle:{|"check":"banned-constructs"|} json);
+  Alcotest.(check bool) "one object line per finding" true
+    (Provkit_util.Strutil.contains_substring ~needle:"{\"check\"" json);
+  Alcotest.(check string) "empty list renders as []" "[]" (Driver.render_json [])
+
+let parse_error_reported () =
+  let fs = lint ~filename:"lib/foo.ml" "let f = (" in
+  check_count "unparseable file is itself a finding" "parse-error" 1 fs
+
+(* --- integration: the real tree is clean ----------------------------- *)
+
+let rec find_repo_root dir depth =
+  if depth > 6 then None
+  else if Sys.file_exists (Filename.concat dir "lib/obs/names.ml") then Some dir
+  else find_repo_root (Filename.dirname dir) (depth + 1)
+
+let repo_clean () =
+  match find_repo_root (Sys.getcwd ()) 0 with
+  | None -> Alcotest.fail "could not locate the source tree from the test cwd"
+  | Some root ->
+    let files = Driver.tree_files ~root in
+    Alcotest.(check bool) "scans a real tree" true (List.length files > 50);
+    Alcotest.(check bool) "sees bin/provctl.ml" true (List.mem "bin/provctl.ml" files);
+    let findings = Driver.lint_tree ~root () in
+    Alcotest.(check string) "zero findings on the shipped tree" ""
+      (Driver.render_text findings)
+
+let suite =
+  [
+    Alcotest.test_case "codec-symmetry flags" `Quick codec_flagging;
+    Alcotest.test_case "codec-symmetry suppressed" `Quick codec_suppressed;
+    Alcotest.test_case "codec-symmetry scoped to codecs" `Quick codec_only_in_codec_files;
+    Alcotest.test_case "no-wildcard-match flags" `Quick match_flagging;
+    Alcotest.test_case "no-wildcard-match suppressed" `Quick match_suppressed;
+    Alcotest.test_case "no-wildcard-match scoped" `Quick match_other_variants_free;
+    Alcotest.test_case "io-discipline flags" `Quick io_flagging;
+    Alcotest.test_case "io-discipline suppressed" `Quick io_suppressed;
+    Alcotest.test_case "io-discipline sanctioned layers" `Quick io_sanctioned_layers;
+    Alcotest.test_case "banned-constructs flags" `Quick banned_flagging;
+    Alcotest.test_case "banned-constructs suppressed" `Quick banned_suppressed;
+    Alcotest.test_case "banned-constructs bin printf" `Quick banned_bin_printf_ok;
+    Alcotest.test_case "obs-names flags" `Quick obs_flagging;
+    Alcotest.test_case "obs-names suppressed" `Quick obs_suppressed;
+    Alcotest.test_case "obs-names grep parity" `Quick grep_parity;
+    Alcotest.test_case "json rendering" `Quick json_rendering;
+    Alcotest.test_case "parse errors surface" `Quick parse_error_reported;
+    Alcotest.test_case "repository is clean" `Quick repo_clean;
+  ]

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Lint gate: fail the build when provlint reports a finding that is not
+# in the committed baseline (tools/lint_baseline.json).
+#
+# The baseline is expected to stay empty ("[]").  It exists so an
+# emergency fix can land with a known finding recorded explicitly
+# instead of being waved through; burn entries down to zero again as
+# soon as possible.  provlint emits one JSON object per line, so the
+# gate is a plain line-wise membership test — no JSON parser needed.
+#
+# Usage: lint_gate.sh [provlint-exe] [root]
+set -u
+
+provlint=${1:-_build/default/bin/provlint.exe}
+root=${2:-.}
+baseline=$(dirname "$0")/lint_baseline.json
+
+if [ ! -f "$baseline" ]; then
+  echo "lint_gate: missing baseline $baseline" >&2
+  exit 2
+fi
+
+out=$("$provlint" --json --root "$root")
+status=$?
+if [ "$status" -gt 1 ]; then
+  echo "lint_gate: provlint failed (exit $status)" >&2
+  exit 2
+fi
+
+new=0
+while IFS= read -r line; do
+  case "$line" in
+    '{'*) ;;
+    *) continue ;;
+  esac
+  entry=${line%,}
+  if ! grep -qF -- "$entry" "$baseline"; then
+    if [ "$new" -eq 0 ]; then
+      echo "lint_gate: findings not in baseline:" >&2
+    fi
+    echo "  $entry" >&2
+    new=1
+  fi
+done <<EOF
+$out
+EOF
+
+if [ "$new" -ne 0 ]; then
+  echo "lint_gate: fix the findings (see provlint --root $root) or, as a last" >&2
+  echo "lint_gate: resort, add them to tools/lint_baseline.json with a comment in the PR." >&2
+  exit 1
+fi
+
+echo "lint_gate: no findings outside baseline"
