@@ -1,0 +1,3 @@
+
+let used = "prov.fixture.used"
+let unused = "prov.fixture.unused"

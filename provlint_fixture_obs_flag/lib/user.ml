@@ -1,0 +1,3 @@
+
+let () = ignore Obs.Names.used
+let stray = "prov.fixture.stray"

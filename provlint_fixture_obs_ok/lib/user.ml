@@ -1,0 +1,4 @@
+
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.unused
+let stray = "prov.fixture.stray" [@@provlint.allow "obs-names"]

@@ -1,0 +1,5 @@
+
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.unused
+let a = "prov.fixture.stray"
+let b = "prov.fixture.also_stray"
