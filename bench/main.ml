@@ -94,39 +94,44 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Core.Versioning.is_acyclic store)));
   ]
 
-let run_micro () =
+let micro_iters = if quick then 200 else 1000
+
+(* (name, ns/run) for every micro test — shared by the table printer and
+   the --json artifact writer. *)
+let measure_micro () =
   let tests = micro_tests () in
   let cfg =
-    Benchmark.cfg
-      ~limit:(if quick then 200 else 1000)
+    Benchmark.cfg ~limit:micro_iters
       ~quota:(Time.second (if quick then 0.2 else 0.7))
       ~kde:None ()
   in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.concat_map
+    (fun test ->
+      let results =
+        Benchmark.all cfg [ Instance.monotonic_clock ]
+          (Test.make_grouped ~name:"" [ test ])
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> est
+            | _ -> nan
+          in
+          (name, ns) :: acc)
+        analyzed [])
+    tests
+
+let run_micro measured =
   print_endline "== micro-benchmarks (bechamel, ns/run via OLS) ==\n";
-  let rows =
-    List.concat_map
-      (fun test ->
-        let results =
-          Benchmark.all cfg [ Instance.monotonic_clock ]
-            (Test.make_grouped ~name:"" [ test ])
-        in
-        let analyzed = Analyze.all ols Instance.monotonic_clock results in
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let ns =
-              match Analyze.OLS.estimates ols_result with
-              | Some (est :: _) -> est
-              | _ -> nan
-            in
-            [ name; Printf.sprintf "%.0f ns" ns; Printf.sprintf "%.3f ms" (ns /. 1e6) ]
-            :: acc)
-          analyzed [])
-      tests
-  in
   Provkit_util.Table_fmt.print
     ~header:[ "benchmark"; "time/run"; "time/run (ms)" ]
-    rows;
+    (List.map
+       (fun (name, ns) ->
+         [ name; Printf.sprintf "%.0f ns" ns; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
+       measured);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -137,7 +142,7 @@ let run_micro () =
    costs one branch per record; an enabled one a few array writes plus
    two clock reads per query.  Run the same indexed-probe workload with
    the registry off and on and report the relative cost. *)
-let run_obs_overhead () =
+let measure_obs_overhead () =
   let ds = Lazy.force dataset in
   let store = Harness.Dataset.store ds in
   let db = Core.Prov_schema.to_database store in
@@ -171,12 +176,7 @@ let run_obs_overhead () =
   let row name work iters queries_per_iter =
     let off_ns = measure work iters queries_per_iter false in
     let on_ns = measure work iters queries_per_iter true in
-    [
-      name;
-      Printf.sprintf "%.0f" off_ns;
-      Printf.sprintf "%.0f" on_ns;
-      Printf.sprintf "%+.1f%%" (100.0 *. ((on_ns /. off_ns) -. 1.0));
-    ]
+    (name, off_ns, on_ns)
   in
   let probe_iters = if quick then 200 else 2000 in
   let scan_iters = if quick then 50 else 200 in
@@ -187,8 +187,20 @@ let run_obs_overhead () =
     ]
   in
   Provkit_obs.Metrics.set_enabled was_on;
+  rows
+
+let run_obs_overhead measured =
   print_endline "== observability overhead (ns/query, registry off vs on) ==\n";
-  Provkit_util.Table_fmt.print ~header:[ "workload"; "off"; "on"; "overhead" ] rows;
+  Provkit_util.Table_fmt.print ~header:[ "workload"; "off"; "on"; "overhead" ]
+    (List.map
+       (fun (name, off_ns, on_ns) ->
+         [
+           name;
+           Printf.sprintf "%.0f" off_ns;
+           Printf.sprintf "%.0f" on_ns;
+           Printf.sprintf "%+.1f%%" (100.0 *. ((on_ns /. off_ns) -. 1.0));
+         ])
+       measured);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -199,7 +211,76 @@ let run_experiments () =
   print_endline "== paper experiment tables (E1..E16) ==";
   List.iter Harness.Report.print (Harness.Experiments.run_all ~quick ~seed ())
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: the BENCH_<date>.json telemetry artifact                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema "provkit-bench/1".  Every entry of "rows" and "obs_overhead"
+   is one JSON object on its own line, so tools/bench_compare.sh can
+   diff two artifacts with grep/awk alone:
+
+   { "schema": "provkit-bench/1", "date": "YYYY-MM-DD", "seed": N,
+     "quick": bool, "dataset": {"days":N,"nodes":N,"edges":N},
+     "rows": [ {"name":"...","iters":N,"ns_per_op":X}, ... ],
+     "obs_overhead": [ {"name":"...","off_ns":X,"on_ns":X,"delta_pct":X}, ... ] }
+
+   The default path is BENCH_<iso-date>.json in the working directory;
+   BENCH_OUT overrides it (the smoke alias points it at a temp dir). *)
+
+(* Bechamel's OLS estimate can be nan when a run has too few samples
+   (quick mode on a loaded machine); 0 keeps the artifact parseable and
+   makes bench_compare.sh skip the row rather than divide by nan. *)
+let json_num f = if Float.is_nan f then "0" else Printf.sprintf "%.3f" f
+
+let iso_date () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
+let write_artifact ~micro ~overhead =
+  let ds = Lazy.force dataset in
+  let path =
+    match Sys.getenv_opt "BENCH_OUT" with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" (iso_date ())
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{ \"schema\": \"provkit-bench/1\", \"date\": \"%s\", \"seed\": %d, \"quick\": %b,\n"
+       (iso_date ()) seed quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"dataset\": {\"days\":%d,\"nodes\":%d,\"edges\":%d},\n"
+       ds.Harness.Dataset.trace.Browser.User_model.span_days
+       (Core.Prov_store.node_count (Harness.Dataset.store ds))
+       (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\":\"%s\",\"iters\":%d,\"ns_per_op\":%s}%s\n"
+           (Provkit_obs.Metrics.json_escape name)
+           micro_iters (json_num ns)
+           (if i + 1 < List.length micro then "," else "")))
+    micro;
+  Buffer.add_string buf "  ],\n  \"obs_overhead\": [\n";
+  List.iteri
+    (fun i (name, off_ns, on_ns) ->
+      let delta = if off_ns > 0.0 then 100.0 *. ((on_ns /. off_ns) -. 1.0) else 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\":\"%s\",\"off_ns\":%s,\"on_ns\":%s,\"delta_pct\":%.1f}%s\n"
+           (Provkit_obs.Metrics.json_escape name)
+           (json_num off_ns) (json_num on_ns) delta
+           (if i + 1 < List.length overhead then "," else "")))
+    overhead;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "bench telemetry -> %s\n" path
+
 let () =
+  let json_mode = Array.exists (String.equal "--json") Sys.argv in
   Printf.printf "browser-provenance bench harness (seed %d%s)\n\n" seed
     (if quick then ", quick mode" else "");
   (* Building the dataset first keeps its cost out of the micro runs. *)
@@ -208,6 +289,9 @@ let () =
     ds.Harness.Dataset.trace.Browser.User_model.span_days
     (Core.Prov_store.node_count (Harness.Dataset.store ds))
     (Core.Prov_store.edge_count (Harness.Dataset.store ds));
-  run_micro ();
-  run_obs_overhead ();
-  run_experiments ()
+  let micro = measure_micro () in
+  run_micro micro;
+  let overhead = measure_obs_overhead () in
+  run_obs_overhead overhead;
+  if json_mode then write_artifact ~micro ~overhead
+  else run_experiments ()

@@ -143,47 +143,57 @@ let rec rm_rf path =
    query plan kind — and report the registry's snapshot of all of it. *)
 let workload_snapshot days seed =
   Provkit_obs.Metrics.set_enabled true;
+  Provkit_obs.Flight.set_context
+    [ ("seed", string_of_int seed); ("days", string_of_int days) ];
   let dir = Filename.temp_file "provctl-stats" ".wal" in
   Sys.remove dir;
   Sys.mkdir dir 0o700;
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Provkit_obs.Trace.with_span "workload" ~attrs:[ ("seed", string_of_int seed) ]
+  @@ fun () ->
   let ds =
-    Harness.Dataset.build
-      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
-      ~seed ()
+    Provkit_obs.Trace.with_span "workload.simulate" (fun () ->
+        Harness.Dataset.build
+          ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+          ~seed ())
   in
   let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
-  let handle =
-    Core.Prov_log.Segmented.open_
-      ~config:{ Core.Prov_log.Segmented.max_segment_bytes = 16384 } dir
+  let store =
+    Provkit_obs.Trace.with_span "workload.ingest" (fun () ->
+        let handle =
+          Core.Prov_log.Segmented.open_
+            ~config:{ Core.Prov_log.Segmented.max_segment_bytes = 16384 } dir
+        in
+        let capture, feed = Core.Capture.observer () in
+        let store = Core.Capture.store capture in
+        Core.Prov_log.Segmented.attach handle store;
+        List.iter feed events;
+        Core.Prov_log.Segmented.compact handle store;
+        Core.Prov_log.Segmented.close handle;
+        ignore (Core.Prov_log.Segmented.recover ~dir);
+        store)
   in
-  let capture, feed = Core.Capture.observer () in
-  let store = Core.Capture.store capture in
-  Core.Prov_log.Segmented.attach handle store;
-  List.iter feed events;
-  Core.Prov_log.Segmented.compact handle store;
-  Core.Prov_log.Segmented.close handle;
-  ignore (Core.Prov_log.Segmented.recover ~dir);
-  let db = Core.Prov_schema.to_database store in
-  let nodes = Relstore.Database.table db "prov_node" in
-  let schema = Relstore.Table.schema nodes in
-  let urls =
-    Relstore.Table.fold nodes ~init:[] ~f:(fun acc _ row ->
-        if List.length acc >= 8 then acc
-        else
-          match Relstore.Row.text_opt schema row "url" with
-          | Some u when (not (List.mem u acc)) && not (String.contains u '\'') ->
-            u :: acc
-          | _ -> acc)
-  in
-  let q s = ignore (Relstore.Sql.query db s) in
-  q "SELECT COUNT(*) FROM prov_node";
-  q "SELECT kind, COUNT(*) FROM prov_node GROUP BY kind";
-  q "SELECT * FROM prov_node WHERE kind = 1 LIMIT 20";
-  q "SELECT * FROM prov_edge WHERE src BETWEEN 1 AND 64";
-  List.iter
-    (fun u -> q (Printf.sprintf "SELECT * FROM prov_node WHERE url = '%s'" u))
-    urls;
+  Provkit_obs.Trace.with_span "workload.query" (fun () ->
+      let db = Core.Prov_schema.to_database store in
+      let nodes = Relstore.Database.table db "prov_node" in
+      let schema = Relstore.Table.schema nodes in
+      let urls =
+        Relstore.Table.fold nodes ~init:[] ~f:(fun acc _ row ->
+            if List.length acc >= 8 then acc
+            else
+              match Relstore.Row.text_opt schema row "url" with
+              | Some u when (not (List.mem u acc)) && not (String.contains u '\'') ->
+                u :: acc
+              | _ -> acc)
+      in
+      let q s = ignore (Relstore.Sql.query db s) in
+      q "SELECT COUNT(*) FROM prov_node";
+      q "SELECT kind, COUNT(*) FROM prov_node GROUP BY kind";
+      q "SELECT * FROM prov_node WHERE kind = 1 LIMIT 20";
+      q "SELECT * FROM prov_edge WHERE src BETWEEN 1 AND 64";
+      List.iter
+        (fun u -> q (Printf.sprintf "SELECT * FROM prov_node WHERE url = '%s'" u))
+        urls);
   Provkit_obs.Metrics.snapshot ()
 
 let stats db json trace_out days seed =
@@ -232,6 +242,44 @@ let stats_cmd =
          "Metrics snapshot of an instrumented ingest+query run (with --db: statistics of \
           a saved provenance database)")
     Term.(const stats $ db_opt_arg $ json_flag $ trace_out_arg $ days_arg $ seed_arg)
+
+(* --- profile --------------------------------------------------------- *)
+
+(* The stats workload again, but aimed at the tracer: every query gets a
+   span (threshold zero), span ids are seeded for reproducibility, and
+   the resulting tree is printed — or folded into flamegraph input. *)
+let profile days seed folded json =
+  Provkit_obs.Trace.clear ();
+  Provkit_obs.Trace.seed_ids seed;
+  Relstore.Query_exec.set_query_span_threshold_ns 0;
+  ignore (workload_snapshot days seed);
+  let spans = Provkit_obs.Trace.recent () in
+  (match folded with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    List.iter
+      (fun (stack, self_ns) -> Printf.fprintf oc "%s %Ld\n" stack self_ns)
+      (Provkit_obs.Trace.folded spans);
+    close_out oc;
+    Printf.eprintf "folded stacks -> %s (flamegraph.pl %s > flame.svg)\n" path path);
+  if json then List.iter (fun s -> print_endline (Provkit_obs.Trace.span_to_json s)) spans
+  else print_string (Provkit_obs.Trace.render_trees (Provkit_obs.Trace.assemble spans))
+
+let folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ] ~docv:"FILE"
+        ~doc:"Write folded stacks (\"root;child self_ns\" lines) for flamegraph tooling.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the instrumented workload with per-query spans and print the span tree \
+          (--folded FILE for flamegraph input, --json for raw v2 JSONL spans)")
+    Term.(const profile $ days_arg $ seed_arg $ folded_arg $ json_flag)
 
 (* --- search --------------------------------------------------------- *)
 
@@ -367,9 +415,16 @@ let sessions_cmd =
 
 (* --- sql -------------------------------------------------------------- *)
 
-let sql db statement explain_only =
+let sql db statement explain_only analyze json =
   let database = Relstore.Database.load ~path:db in
-  if explain_only then begin
+  if analyze then begin
+    match Relstore.Sql.analyze_query database statement with
+    | report ->
+      if json then print_endline (Relstore.Sql.analyze_to_json report)
+      else print_endline (Relstore.Sql.render_analyze report)
+    | exception Relstore.Sql.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
+  end
+  else if explain_only then begin
     match Relstore.Sql.explain_query database statement with
     | report -> print_endline (Relstore.Sql.render_explain report)
     | exception Relstore.Sql.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg
@@ -395,10 +450,22 @@ let explain_flag =
           "Run the query and report the planner's access path, estimated vs. scanned vs. \
            returned rows, and latency instead of the result rows.")
 
+let analyze_flag =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "EXPLAIN ANALYZE: run the query and print a per-operator profile tree (probe, \
+           fetch, filter, sort, limit, join build/probe) with rows in/out, duration and \
+           percent of total per node.  With --json, emit the raw profile tree.")
+
+let sql_json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"With --analyze: emit the raw profile as JSON.")
+
 let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Run a SQL query against a saved database (provenance or places)")
-    Term.(const sql $ db_arg $ statement_arg $ explain_flag)
+    Term.(const sql $ db_arg $ statement_arg $ explain_flag $ analyze_flag $ sql_json_flag)
 
 (* --- suggest ----------------------------------------------------------- *)
 
@@ -506,6 +573,9 @@ let wal days seed dir max_segment_bytes compact_every fault_spec =
         exit 2
     end
   in
+  Provkit_obs.Flight.set_context
+    [ ("seed", string_of_int seed); ("days", string_of_int days); ("wal_dir", dir) ];
+  let incidents_before = Provkit_obs.Flight.recorded () in
   let ds =
     Harness.Dataset.build
       ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
@@ -531,7 +601,17 @@ let wal days seed dir max_segment_bytes compact_every fault_spec =
     Printf.printf "injecting fault on active segment: %s\n"
       (Provkit_util.Faulty_io.fault_to_string f);
     Provkit_util.Faulty_io.arm (Core.Prov_log.Segmented.active_sink handle) [ f ]);
-  Core.Prov_log.Segmented.close handle;
+  (* The armed fault fires inside this close; the shutdown span gives
+     the flight recorder an ancestry to blame. *)
+  Provkit_obs.Trace.with_span "wal.shutdown"
+    ~attrs:
+      [
+        ( "fault",
+          match fault with
+          | None -> "none"
+          | Some f -> Provkit_util.Faulty_io.fault_to_string f );
+      ]
+    (fun () -> Core.Prov_log.Segmented.close handle);
   Printf.printf "logged %d events as %d ops into %s (generation %d, %d live segments)\n"
     (List.length events)
     (Core.Prov_log.Segmented.appended handle)
@@ -546,7 +626,20 @@ let wal days seed dir max_segment_bytes compact_every fault_spec =
   Printf.printf "live store:      %d nodes, %d edges\n"
     (Core.Prov_store.node_count store) (Core.Prov_store.edge_count store);
   Printf.printf "recovered store: %d nodes, %d edges\n"
-    (Core.Prov_store.node_count rs) (Core.Prov_store.edge_count rs)
+    (Core.Prov_store.node_count rs) (Core.Prov_store.edge_count rs);
+  (* Anything abnormal (the injected fault firing, a truncated
+     recovery) landed in the flight recorder — leave the postmortem
+     next to the WAL it explains. *)
+  List.iter
+    (fun (i : Provkit_obs.Flight.incident) ->
+      if i.Provkit_obs.Flight.seq > incidents_before then begin
+        let path =
+          Filename.concat dir (Printf.sprintf "postmortem-%d.json" i.Provkit_obs.Flight.seq)
+        in
+        Provkit_obs.Flight.dump i ~path;
+        Printf.printf "postmortem -> %s (%s)\n" path i.Provkit_obs.Flight.reason
+      end)
+    (Provkit_obs.Flight.incidents ())
 
 let dir_arg =
   Arg.(
@@ -622,13 +715,29 @@ let lint_cmd =
     Term.(const lint $ lint_root_arg $ lint_json_arg)
 
 let () =
+  (* Flight-recorder wiring: injected faults and uncaught exceptions
+     both leave a postmortem. *)
+  Provkit_obs.Flight.install_fault_hook ();
+  Provkit_obs.Flight.set_context [ ("argv", String.concat " " (Array.to_list Sys.argv)) ];
   let doc = "browser provenance: capture, store and query (TaPP '09 reproduction)" in
   let info = Cmd.info "provctl" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; replay_cmd; stats_cmd; search_cmd; time_search_cmd; lineage_cmd;
-            tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
-            experiments_cmd; lint_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; replay_cmd; stats_cmd; profile_cmd; search_cmd; time_search_cmd;
+        lineage_cmd; tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
+        experiments_cmd; lint_cmd;
+      ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Provkit_obs.Flight.record "provctl.uncaught" ~attrs:[ ("exn", Printexc.to_string e) ];
+    (match Provkit_obs.Flight.latest () with
+    | None -> ()
+    | Some i ->
+      let path = "provctl-postmortem.json" in
+      Provkit_obs.Flight.dump i ~path;
+      Printf.eprintf "provctl: uncaught exception; postmortem -> %s\n" path);
+    Printexc.raise_with_backtrace e bt

@@ -205,8 +205,16 @@ let decode_prefix ~tolerate_truncation s =
 let decode_all ~tolerate_truncation s = fst (decode_prefix ~tolerate_truncation s)
 
 let of_bytes ?(tolerate_truncation = true) s =
+  let ops, clean = decode_prefix ~tolerate_truncation s in
+  if not clean then
+    Obs.Flight.record "journal.load.truncated"
+      ~attrs:
+        [
+          ("ops_salvaged", string_of_int (List.length ops));
+          ("bytes", string_of_int (String.length s));
+        ];
   let t = create () in
-  List.iter (append t) (decode_all ~tolerate_truncation s);
+  List.iter (append t) ops;
   t
 
 let ops t = decode_all ~tolerate_truncation:false (to_bytes t)
@@ -449,7 +457,7 @@ module Segmented = struct
      truncate the tail — old segments (and the previous snapshot) are
      dropped and appending continues into a fresh, empty segment. *)
   let compact h store =
-    Obs.Trace.with_span "wal.compact" ~attrs:[ ("dir", h.dir) ] (fun () ->
+    Obs.Trace.with_span Obs.Names.span_wal_compact ~attrs:[ ("dir", h.dir) ] (fun () ->
         let old = h.manifest in
         let snap = write_snapshot h store in
         Fio.close h.active;
@@ -482,7 +490,7 @@ module Segmented = struct
     Prov_schema.of_database (Relstore.Database.of_bytes (C.read_frame s pos))
 
   let recover ~dir =
-    Obs.Trace.with_span "wal.recover" ~attrs:[ ("dir", dir) ] (fun () ->
+    Obs.Trace.with_span Obs.Names.span_wal_recover ~attrs:[ ("dir", dir) ] (fun () ->
     let manifest = read_manifest dir in
     let store =
       match manifest.snapshot with
@@ -524,6 +532,15 @@ module Segmented = struct
     Obs.Metrics.incr m_recoveries;
     Obs.Metrics.add m_recovered_ops !ops_applied;
     Obs.Metrics.add m_recovered_segments !segments_read;
-    if !truncated then Obs.Metrics.incr m_recoveries_truncated;
+    if !truncated then begin
+      Obs.Metrics.incr m_recoveries_truncated;
+      Obs.Flight.record "wal.recovery.truncated"
+        ~attrs:
+          [
+            ("dir", dir);
+            ("ops_applied", string_of_int !ops_applied);
+            ("segments_read", string_of_int !segments_read);
+          ]
+    end;
     { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated })
 end

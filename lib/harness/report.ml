@@ -9,10 +9,15 @@ type t = {
 
 (* Each printed report carries the cumulative instrumentation headline
    at the moment it was produced, so every number EXPERIMENTS.md quotes
-   names the events/WAL/query activity that generated it. *)
+   names the events/WAL/query activity that generated it.  A non-zero
+   flight-recorder incident count is appended — a report produced after
+   an abnormal event should say so. *)
 let metrics_line () =
-  if Provkit_obs.Metrics.enabled () then
-    Some (Provkit_obs.Metrics.headline (Provkit_obs.Metrics.snapshot ()))
+  if Provkit_obs.Metrics.enabled () then begin
+    let head = Provkit_obs.Metrics.headline (Provkit_obs.Metrics.snapshot ()) in
+    let incidents = Provkit_obs.Flight.recorded () in
+    Some (if incidents > 0 then Printf.sprintf "%s incidents=%d" head incidents else head)
+  end
   else None
 
 (* Printing to stdout is this module's entire purpose — it renders the

@@ -14,7 +14,18 @@
      but never-recorded metric is a dashboard lying about coverage.
 
    Unlike the grep, literals in comments are invisible here, and test
-   code remains exempt (suites may invent scratch names). *)
+   code remains exempt (suites may invent scratch names).
+
+   The same file also registers trace span names, as [span_*] string
+   bindings.  For those the contract is:
+
+   - the name argument of [Trace.record] / [Trace.with_span] in lib/
+     must not be a string literal unless that literal is a registered
+     span constant — ad-hoc span names in the library would fragment
+     the profile trees that provctl renders (bin/ may still improvise:
+     CLI phase spans are not library API);
+   - every registered [span_*] binding must be referenced somewhere in
+     lib/ or bin/. *)
 
 open Parsetree
 
@@ -38,6 +49,22 @@ let registry_of structure =
       | _ -> [])
     structure
 
+(* Top-level [let span_x = "..."] bindings of the names module. *)
+let span_registry_of structure =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.filter_map
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+            | Ppat_var name, Pexp_constant (Pconst_string (s, _, _))
+              when Registry.has_prefix ~prefix:"span_" name.txt -> Some (name.txt, s, vb.pvb_loc)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    structure
+
 type uses = { mutable idents : SSet.t; mutable literals : SSet.t }
 
 let scan_uses structure uses =
@@ -52,7 +79,9 @@ let scan_uses structure uses =
             | "Names" :: _ -> uses.idents <- SSet.add x uses.idents
             | _ -> ()
           end
-          | Pexp_constant (Pconst_string (s, _, _)) when Registry.is_metric_literal s ->
+          | Pexp_constant (Pconst_string (s, _, _)) ->
+            (* All literals, not just metric-shaped ones: span constants
+               are matched by their literal value too. *)
             uses.literals <- SSet.add s uses.literals
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
@@ -81,6 +110,43 @@ let literal_findings ~file structure registered =
   it.structure it structure;
   !findings
 
+(* Literal span names at lib/ [Trace.record] / [Trace.with_span] sites
+   that are not registered constants. *)
+let span_site_findings ~file structure span_registered =
+  let is_trace_fn path fn =
+    (fn = "record" || fn = "with_span")
+    &&
+    match List.rev (Longident.flatten path) with
+    | "Trace" :: _ -> true
+    | _ -> false
+  in
+  let findings = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply
+              ({ pexp_desc = Pexp_ident { txt = Longident.Ldot (path, fn); _ }; _ }, args)
+            when is_trace_fn path fn -> begin
+            match List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args with
+            | Some (_, { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); pexp_loc; _ })
+              when not (SSet.mem s span_registered) ->
+              findings :=
+                Source.finding ~check:id ~file pexp_loc
+                  (Printf.sprintf
+                     "unregistered span name %S: add a span_* constant to lib/obs/names.ml" s)
+                :: !findings
+            | _ -> ()
+          end
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure;
+  !findings
+
 (* [files] are (relative path, parsed structure) pairs for the tree. *)
 let run files =
   match List.find_opt (fun (rel, _) -> Registry.is_metric_names_file rel) files with
@@ -96,8 +162,29 @@ let run files =
     in
     let uses = { idents = SSet.empty; literals = SSet.empty } in
     List.iter (fun (_, structure) -> scan_uses structure uses) others;
+    let span_registry = span_registry_of names_structure in
+    let span_registered = SSet.of_list (List.map (fun (_, s, _) -> s) span_registry) in
     let unregistered =
       List.concat_map (fun (rel, structure) -> literal_findings ~file:rel structure registered) others
+    in
+    let span_sites =
+      List.concat_map
+        (fun (rel, structure) ->
+          if Registry.in_lib rel then span_site_findings ~file:rel structure span_registered
+          else [])
+        others
+    in
+    let span_unused =
+      List.filter_map
+        (fun (name, literal, loc) ->
+          if SSet.mem name uses.idents || SSet.mem literal uses.literals then None
+          else
+            Some
+              (Source.finding ~check:id ~file:names_rel loc
+                 (Printf.sprintf
+                    "span %s (%S) is registered but never recorded in lib/ or bin/" name
+                    literal)))
+        span_registry
     in
     let unused =
       List.filter_map
@@ -111,4 +198,4 @@ let run files =
                     literal)))
         registry
     in
-    unregistered @ unused
+    unregistered @ span_sites @ unused @ span_unused

@@ -54,6 +54,10 @@ let query_latency_ns = "prov.query.latency.ns"
 let trace_spans = "prov.trace.spans.recorded"
 let trace_dropped = "prov.trace.spans.dropped"
 
+(* --- flight recorder --- *)
+
+let flight_incidents = "prov.flight.incidents.total"
+
 let all =
   [
     browser_events;
@@ -86,6 +90,20 @@ let all =
     query_latency_ns;
     trace_spans;
     trace_dropped;
+    flight_incidents;
   ]
 
 let registered name = List.mem name all
+
+(* --- trace span names --- *)
+
+(* Span names are dotted lower-case constants, registered here for the
+   same reason metric names are: the obs-names lint requires every name
+   literal passed to [Trace.record]/[Trace.with_span] in lib/ to be one
+   of these bindings, and flags any binding below that is never recorded
+   anywhere in lib/ or bin/.  (They are distinguished from metric names
+   by shape: no "prov." prefix with two further dotted segments.) *)
+
+let span_query = "query"
+let span_wal_compact = "wal.compact"
+let span_wal_recover = "wal.recover"

@@ -74,7 +74,25 @@ val trace_spans : string
 val trace_dropped : string
 (** Spans overwritten in the ring before being drained. *)
 
+val flight_incidents : string
+(** Incidents captured by the flight recorder. *)
+
 val all : string list
-(** Every registered name, in declaration order. *)
+(** Every registered metric name, in declaration order (span names are
+    not metrics and are not listed). *)
 
 val registered : string -> bool
+
+(** {2 Trace span names}
+
+    Registered here for the same reason metric names are: the
+    [obs-names] lint requires every name literal passed to
+    [Trace.record]/[Trace.with_span] under [lib/] to be one of these
+    constants, and flags any constant that is never recorded. *)
+
+val span_query : string
+(** Slow-query spans emitted by [Query_exec]. *)
+
+val span_wal_compact : string
+
+val span_wal_recover : string

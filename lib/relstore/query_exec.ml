@@ -110,7 +110,9 @@ let h_latency = Obs.Metrics.histogram Obs.Names.query_latency_ns
    the plan it actually used), then record counters, the latency
    histogram, and a trace span.  With the registry off this is the bare
    run plus one branch — no clock reads. *)
-let query_span_threshold_ns = 100_000
+let query_span_threshold_ns = ref 100_000
+
+let set_query_span_threshold_ns n = query_span_threshold_ns := n
 
 let executed ~op ~table_name run =
   if not (Obs.Metrics.enabled ()) then begin
@@ -134,8 +136,8 @@ let executed ~op ~table_name run =
        sub-microsecond index probe, so only queries past the threshold
        get one.  Counters and the latency histogram above still see
        every query. *)
-    if elapsed >= query_span_threshold_ns then
-      Obs.Trace.record "query"
+    if elapsed >= !query_span_threshold_ns then
+      Obs.Trace.record Obs.Names.span_query
         ~attrs:
           [
             ("op", op);
@@ -264,3 +266,302 @@ let group_count_stats ~by ?(where = Predicate.True) table =
       (sorted, plan_of_access access, List.length cands, List.length sorted))
 
 let group_count ~by ?where table = fst (group_count_stats ~by ?where table)
+
+(* --- profiling (EXPLAIN ANALYZE) ------------------------------------ *)
+
+type profile = {
+  op : string;
+  detail : string;
+  rows_in : int;
+  rows_out : int;
+  dur_ns : int;
+  children : profile list;
+}
+
+(* Profiled variants re-run the same operator sequence with a clock
+   read at every phase boundary.  Consecutive phases share boundary
+   timestamps, so leaf durations tile the root interval exactly: the
+   sum of leaf dur_ns equals the root dur_ns up to clock monotonicity.
+   Unlike [exec_stats.elapsed_ns], profile timing does not depend on
+   the observability switch — calling a [*_profiled] entry point is the
+   opt-in. *)
+
+let now_ns () = Provkit_util.Timing.now_ns ()
+
+let ns_between a b = Int64.to_int (Int64.sub b a)
+
+let access_detail = function
+  | A_scan -> "heap_scan"
+  | A_eq (idx, _) -> Printf.sprintf "index_eq(%s)" (Index.name idx)
+  | A_range (idx, _, _) -> Printf.sprintf "index_range(%s)" (Index.name idx)
+
+let leaf op detail rows_in rows_out a b =
+  { op; detail; rows_in; rows_out; dur_ns = ns_between a b; children = [] }
+
+(* Resolve the access path to candidate rowids without touching the row
+   heap ([None] = scan: every rowid, enumerated by the fetch phase). *)
+let probe_rowids access =
+  match access with
+  | A_scan -> None
+  | A_eq (idx, key) -> Some (Index.find idx key)
+  | A_range (idx, lo, hi) ->
+      let lo = Option.map (fun v -> [ v ]) lo in
+      let hi = Option.map (fun v -> [ v ]) hi in
+      Some (List.rev (Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid -> rowid :: acc)))
+
+let fetch_rows table rowids =
+  match rowids with
+  | Some ids -> List.map (fun rowid -> (rowid, Table.get table rowid)) ids
+  | None -> Table.rows table
+
+let fetch_detail access =
+  match access with A_scan -> "heap_scan" | A_eq _ | A_range _ -> "rowid_fetch"
+
+let select_profiled ?(where = Predicate.True) ?(order_by = []) ?limit table =
+  let schema = Table.schema table in
+  let table_rows = Table.row_count table in
+  let profile = ref None in
+  let final, stats =
+    executed ~op:"select" ~table_name:(Table.name table) (fun () ->
+        let t0 = now_ns () in
+        let access = access_for table where in
+        let rowids = probe_rowids access in
+        let t1 = now_ns () in
+        let cands = fetch_rows table rowids in
+        let n_cands = List.length cands in
+        let t2 = now_ns () in
+        let hits = List.filter (fun (_, row) -> Predicate.eval where schema row) cands in
+        let n_hits = List.length hits in
+        let t3 = now_ns () in
+        let sorted =
+          match order_by with
+          | [] -> List.sort (fun (a, _) (b, _) -> Int.compare a b) hits
+          | _ :: _ -> List.sort (compare_rows schema order_by) hits
+        in
+        let t4 = now_ns () in
+        let final =
+          match limit with
+          | None -> sorted
+          | Some n -> List.filteri (fun i _ -> i < n) sorted
+        in
+        let t5 = now_ns () in
+        let n_final = List.length final in
+        let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        profile :=
+          Some
+            {
+              op = "select";
+              detail = Table.name table;
+              rows_in = table_rows;
+              rows_out = n_final;
+              dur_ns = ns_between t0 t5;
+              children =
+                [
+                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
+                  leaf "filter" "residual_predicate" n_cands n_hits t2 t3;
+                  leaf "sort"
+                    (match order_by with [] -> "rowid_order" | _ :: _ -> "order_by")
+                    n_hits n_hits t3 t4;
+                  leaf "limit"
+                    (match limit with None -> "none" | Some n -> string_of_int n)
+                    n_hits n_final t4 t5;
+                ];
+            };
+        (final, plan_of_access access, n_cands, n_final))
+  in
+  match !profile with Some p -> (final, stats, p) | None -> assert false
+
+let count_profiled ?(where = Predicate.True) table =
+  let schema = Table.schema table in
+  let table_rows = Table.row_count table in
+  let profile = ref None in
+  let n, stats =
+    executed ~op:"count" ~table_name:(Table.name table) (fun () ->
+        let t0 = now_ns () in
+        let access = access_for table where in
+        let rowids = probe_rowids access in
+        let t1 = now_ns () in
+        let cands = fetch_rows table rowids in
+        let n_cands = List.length cands in
+        let t2 = now_ns () in
+        let n =
+          List.length (List.filter (fun (_, row) -> Predicate.eval where schema row) cands)
+        in
+        let t3 = now_ns () in
+        let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        profile :=
+          Some
+            {
+              op = "count";
+              detail = Table.name table;
+              rows_in = table_rows;
+              rows_out = 1;
+              dur_ns = ns_between t0 t3;
+              children =
+                [
+                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
+                  leaf "filter" "residual_predicate" n_cands n t2 t3;
+                ];
+            };
+        (n, plan_of_access access, n_cands, 1))
+  in
+  match !profile with Some p -> (n, stats, p) | None -> assert false
+
+let group_count_profiled ~by ?(where = Predicate.True) table =
+  let schema = Table.schema table in
+  let table_rows = Table.row_count table in
+  let profile = ref None in
+  let pairs, stats =
+    executed ~op:"group_count" ~table_name:(Table.name table) (fun () ->
+        let t0 = now_ns () in
+        let access = access_for table where in
+        let rowids = probe_rowids access in
+        let t1 = now_ns () in
+        let cands = fetch_rows table rowids in
+        let n_cands = List.length cands in
+        let t2 = now_ns () in
+        let counts = Hashtbl.create 64 in
+        List.iter
+          (fun (_, row) ->
+            if Predicate.eval where schema row then begin
+              let key = Row.get schema row by in
+              let n = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+              Hashtbl.replace counts key (n + 1)
+            end)
+          cands;
+        let groups = Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [] in
+        let n_groups = List.length groups in
+        let t3 = now_ns () in
+        let sorted =
+          List.sort
+            (fun (ka, na) (kb, nb) ->
+              let c = Int.compare nb na in
+              if c <> 0 then c else Value.compare ka kb)
+            groups
+        in
+        let t4 = now_ns () in
+        let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        profile :=
+          Some
+            {
+              op = "group_count";
+              detail = Table.name table;
+              rows_in = table_rows;
+              rows_out = n_groups;
+              dur_ns = ns_between t0 t4;
+              children =
+                [
+                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
+                  leaf "aggregate" ("group_by(" ^ by ^ ")") n_cands n_groups t2 t3;
+                  leaf "sort" "count_desc" n_groups n_groups t3 t4;
+                ];
+            };
+        (sorted, plan_of_access access, n_cands, n_groups))
+  in
+  match !profile with Some p -> (pairs, stats, p) | None -> assert false
+
+let join_profiled ?(where_left = Predicate.True) ?(where_right = Predicate.True) ~on left right =
+  let left_cols = List.map fst on and right_cols = List.map snd on in
+  let lschema = Table.schema left in
+  let rschema = Table.schema right in
+  let scanned = ref 0 in
+  let profile = ref None in
+  let pairs, stats =
+    executed ~op:"join" ~table_name:(Table.name right) (fun () ->
+        let t0 = now_ns () in
+        let left_rows = select ~where:where_left left in
+        let n_left = List.length left_rows in
+        let t1 = now_ns () in
+        let key_of_left (_, row) = List.map (Row.get lschema row) left_cols in
+        let plan, build_leaf, probe_detail, right_matches, t2 =
+          match Table.find_index_on right right_cols with
+          | Some idx ->
+              let matches key =
+                List.filter_map
+                  (fun rowid ->
+                    incr scanned;
+                    let row = Table.get right rowid in
+                    if Predicate.eval where_right rschema row then Some (rowid, row) else None)
+                  (Index.find idx key)
+              in
+              ( Index_eq (Index.name idx),
+                None,
+                Printf.sprintf "index_eq(%s)" (Index.name idx),
+                matches,
+                t1 )
+          | None ->
+              let tbl = Hashtbl.create 256 in
+              let built = select ~where:where_right right in
+              List.iter
+                (fun (rowid, row) ->
+                  incr scanned;
+                  let key = List.map (Row.get rschema row) right_cols in
+                  Hashtbl.add tbl key (rowid, row))
+                built;
+              let t2 = now_ns () in
+              ( Full_scan,
+                Some
+                  (leaf "build" "hash_table" (List.length built) (Hashtbl.length tbl) t1 t2),
+                "hash_probe",
+                (fun key -> List.rev (Hashtbl.find_all tbl key)),
+                t2 )
+        in
+        let pairs =
+          List.concat_map
+            (fun l -> List.map (fun r -> (l, r)) (right_matches (key_of_left l)))
+            left_rows
+        in
+        let t3 = now_ns () in
+        let n_pairs = List.length pairs in
+        profile :=
+          Some
+            {
+              op = "join";
+              detail = Printf.sprintf "%s x %s" (Table.name left) (Table.name right);
+              rows_in = n_left;
+              rows_out = n_pairs;
+              dur_ns = ns_between t0 t3;
+              children =
+                [ leaf "left_input" (Table.name left) (Table.row_count left) n_left t0 t1 ]
+                @ (match build_leaf with None -> [] | Some b -> [ b ])
+                @ [ leaf "probe" probe_detail n_left n_pairs t2 t3 ];
+            };
+        (pairs, plan, !scanned, n_pairs))
+  in
+  match !profile with Some p -> (pairs, stats, p) | None -> assert false
+
+(* --- profile rendering ---------------------------------------------- *)
+
+let rec profile_to_json p =
+  Printf.sprintf
+    "{\"op\":\"%s\",\"detail\":\"%s\",\"rows_in\":%d,\"rows_out\":%d,\"dur_ns\":%d,\"children\":[%s]}"
+    (Obs.Metrics.json_escape p.op)
+    (Obs.Metrics.json_escape p.detail)
+    p.rows_in p.rows_out p.dur_ns
+    (String.concat "," (List.map profile_to_json p.children))
+
+let render_profile p =
+  let total = max p.dur_ns 1 in
+  let buf = Buffer.create 256 in
+  let rec go depth n =
+    let label = String.make (2 * depth) ' ' ^ n.op ^ " " ^ n.detail in
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s rows %6d -> %-6d %5.1f%% %10.3f ms\n" label n.rows_in n.rows_out
+         (100.0 *. float_of_int n.dur_ns /. float_of_int total)
+         (float_of_int n.dur_ns /. 1e6));
+    List.iter (go (depth + 1)) n.children
+  in
+  go 0 p;
+  Buffer.contents buf
+
+let fold_profile p =
+  let rec go prefix n acc =
+    let path = match prefix with "" -> n.op | _ -> prefix ^ ";" ^ n.op in
+    let child_ns = List.fold_left (fun a c -> a + c.dur_ns) 0 n.children in
+    let acc = (path, max 0 (n.dur_ns - child_ns)) :: acc in
+    List.fold_left (fun acc c -> go path c acc) acc n.children
+  in
+  List.rev (go "" p [])

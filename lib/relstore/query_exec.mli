@@ -94,3 +94,67 @@ val group_count : by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) 
 
 val group_count_stats :
   by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) list * exec_stats
+
+(** {2 Profiling (EXPLAIN ANALYZE)}
+
+    The [*_profiled] variants run the same operator sequence with a
+    clock read at every phase boundary and return a per-operator
+    {!profile} tree alongside the result.  Consecutive phases share
+    boundary timestamps, so the sum of leaf [dur_ns] values tiles the
+    root's interval exactly.  Unlike [exec_stats.elapsed_ns], profile
+    timing does not depend on the observability switch — calling a
+    profiled entry point is the opt-in. *)
+
+type profile = {
+  op : string;  (** operator: [select]/[probe]/[fetch]/[filter]/[sort]/[limit]/… *)
+  detail : string;  (** e.g. [index_eq(node_url)], [residual_predicate] *)
+  rows_in : int;
+  rows_out : int;
+  dur_ns : int;
+  children : profile list;
+}
+
+val select_profiled :
+  ?where:Predicate.t ->
+  ?order_by:order list ->
+  ?limit:int ->
+  Table.t ->
+  (int * Row.t) list * exec_stats * profile
+(** {!select_stats} plus an operator profile with children
+    [probe; fetch; filter; sort; limit]. *)
+
+val count_profiled : ?where:Predicate.t -> Table.t -> int * exec_stats * profile
+(** Children: [probe; fetch; filter]. *)
+
+val group_count_profiled :
+  by:string -> ?where:Predicate.t -> Table.t -> (Value.t * int) list * exec_stats * profile
+(** Children: [probe; fetch; aggregate; sort]. *)
+
+val join_profiled :
+  ?where_left:Predicate.t ->
+  ?where_right:Predicate.t ->
+  on:(string * string) list ->
+  Table.t ->
+  Table.t ->
+  ((int * Row.t) * (int * Row.t)) list * exec_stats * profile
+(** Children: [left_input; probe] on the index path,
+    [left_input; build; probe] on the hash path. *)
+
+val profile_to_json : profile -> string
+(** One nested JSON object
+    [{"op":..,"detail":..,"rows_in":..,"rows_out":..,"dur_ns":..,
+      "children":[..]}]. *)
+
+val render_profile : profile -> string
+(** Indented operator tree: one line per node with rows in/out, percent
+    of the root's duration, and milliseconds. *)
+
+val fold_profile : profile -> (string * int) list
+(** Folded-stack lines [("select;probe", self_ns); ..] — self time is a
+    node's duration minus its children's, clamped at zero — in the
+    format flamegraph tooling consumes (pre-order). *)
+
+val set_query_span_threshold_ns : int -> unit
+(** Adjust the slow-query span threshold (default 100 µs): queries at
+    least this slow record a trace span; all queries still feed the
+    counters and latency histogram.  [0] traces every query. *)

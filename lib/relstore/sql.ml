@@ -372,10 +372,10 @@ let parse input =
 
 type result = { columns : string list; rows : Value.t list list }
 
-let execute_stats db ast =
+(* Validate referenced columns up front for decent error messages. *)
+let validate db ast =
   let table = Database.table db ast.table in
   let schema = Table.schema table in
-  (* Validate referenced columns up front for decent error messages. *)
   let check col = ignore (Schema.column_index schema col) in
   let rec check_pred = function
     | Predicate.True -> ()
@@ -394,9 +394,19 @@ let execute_stats db ast =
     (fun spec ->
       match spec with Query_exec.Asc c | Query_exec.Desc c -> check c)
     ast.order_by;
+  (match ast.group_by with None -> () | Some g -> check g);
+  (match ast.projection with
+  | `All -> ()
+  | `Columns cols -> List.iter check cols
+  | `Aggregate (Sum c | Avg c | Min c | Max c) -> check c
+  | `Aggregate Count_star -> ())
+
+let execute_stats db ast =
+  let table = Database.table db ast.table in
+  let schema = Table.schema table in
+  validate db ast;
   match (ast.group_by, ast.projection) with
   | Some group, _ ->
-    check group;
     let groups, stats = Query_exec.group_count_stats ~by:group ~where:ast.where table in
     let groups =
       match ast.limit with
@@ -417,7 +427,6 @@ let execute_stats db ast =
       | Sum c | Avg c | Min c | Max c -> c
       | Count_star -> assert false
     in
-    check col;
     let hits, stats = Query_exec.select_stats ~where:ast.where table in
     let cells =
       List.filter_map
@@ -452,9 +461,7 @@ let execute_stats db ast =
       match projection with
       | `All ->
         "rowid" :: Array.to_list (Array.map (fun (c : Column.t) -> c.Column.name) (Schema.columns schema))
-      | `Columns cols ->
-        List.iter check cols;
-        cols
+      | `Columns cols -> cols
     in
     let project (rowid, row) =
       match projection with
@@ -462,6 +469,84 @@ let execute_stats db ast =
       | `Columns cols -> List.map (fun c -> Row.get schema row c) cols
     in
     ({ columns; rows = List.map project hits }, stats)
+
+(* EXPLAIN ANALYZE: the same dispatch as [execute_stats], but through
+   the executor's profiled entry points, so the caller additionally
+   gets the per-operator profile tree.  The result-shaping code
+   (projection, aggregate folds) runs outside the profile; the profile
+   root covers the executor work, which is what the rendered latency
+   reports. *)
+let execute_profiled db ast =
+  let table = Database.table db ast.table in
+  let schema = Table.schema table in
+  validate db ast;
+  match (ast.group_by, ast.projection) with
+  | Some group, _ ->
+    let groups, stats, profile =
+      Query_exec.group_count_profiled ~by:group ~where:ast.where table
+    in
+    let groups =
+      match ast.limit with
+      | None -> groups
+      | Some n -> List.filteri (fun i _ -> i < n) groups
+    in
+    ( {
+        columns = [ group; "count" ];
+        rows = List.map (fun (v, n) -> [ v; Value.Int n ]) groups;
+      },
+      stats,
+      profile )
+  | None, `Aggregate Count_star ->
+    let n, stats, profile = Query_exec.count_profiled ~where:ast.where table in
+    ({ columns = [ "count" ]; rows = [ [ Value.Int n ] ] }, stats, profile)
+  | None, `Aggregate agg ->
+    let col =
+      match agg with
+      | Sum c | Avg c | Min c | Max c -> c
+      | Count_star -> assert false
+    in
+    let hits, stats, profile = Query_exec.select_profiled ~where:ast.where table in
+    let cells =
+      List.filter_map
+        (fun (_, row) ->
+          let v = Row.get schema row col in
+          if Value.is_null v then None else Some v)
+        hits
+    in
+    let name, value =
+      match agg with
+      | Sum _ ->
+        ("sum", Value.Real (List.fold_left (fun acc v -> acc +. Value.to_real v) 0.0 cells))
+      | Avg _ ->
+        ( "avg",
+          if cells = [] then Value.Null
+          else
+            Value.Real
+              (List.fold_left (fun acc v -> acc +. Value.to_real v) 0.0 cells
+              /. float_of_int (List.length cells)) )
+      | Min _ ->
+        ("min", match cells with [] -> Value.Null | v :: r -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v r)
+      | Max _ ->
+        ("max", match cells with [] -> Value.Null | v :: r -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v r)
+      | Count_star -> assert false
+    in
+    ({ columns = [ name ]; rows = [ [ value ] ] }, stats, profile)
+  | None, ((`All | `Columns _) as projection) ->
+    let hits, stats, profile =
+      Query_exec.select_profiled ~where:ast.where ~order_by:ast.order_by ?limit:ast.limit table
+    in
+    let columns =
+      match projection with
+      | `All ->
+        "rowid" :: Array.to_list (Array.map (fun (c : Column.t) -> c.Column.name) (Schema.columns schema))
+      | `Columns cols -> cols
+    in
+    let project (rowid, row) =
+      match projection with
+      | `All -> Value.Int rowid :: Array.to_list row
+      | `Columns cols -> List.map (fun c -> Row.get schema row c) cols
+    in
+    ({ columns; rows = List.map project hits }, stats, profile)
 
 let execute db ast = fst (execute_stats db ast)
 let query db input = execute db (parse input)
@@ -511,3 +596,51 @@ let render_explain r =
       Printf.sprintf "latency:        %.3f ms"
         (float_of_int s.Query_exec.elapsed_ns /. 1e6);
     ]
+
+(* --- EXPLAIN ANALYZE ------------------------------------------------ *)
+
+type analyze_report = {
+  a_table : string;
+  a_plan : Query_exec.plan;
+  a_estimated_rows : int;
+  a_stats : Query_exec.exec_stats;
+  a_profile : Query_exec.profile;
+}
+
+let analyze_query db input =
+  let ast = parse input in
+  let table = Database.table db ast.table in
+  let detail = Query_exec.plan_detail table ast.where in
+  let _, stats, profile = execute_profiled db ast in
+  {
+    a_table = ast.table;
+    a_plan = stats.Query_exec.plan;
+    a_estimated_rows = detail.Query_exec.estimated_rows;
+    a_stats = stats;
+    a_profile = profile;
+  }
+
+let render_analyze r =
+  (* The reported latency is the profile root's interval — the same
+     clock the per-operator rows tile — so the column of percentages is
+     exact against the line above it. *)
+  String.concat "\n"
+    [
+      Printf.sprintf "table:          %s" r.a_table;
+      Printf.sprintf "plan:           %s" (plan_to_string r.a_plan);
+      Printf.sprintf "estimated rows: %d" r.a_estimated_rows;
+      Printf.sprintf "rows scanned:   %d" r.a_stats.Query_exec.rows_scanned;
+      Printf.sprintf "rows returned:  %d" r.a_stats.Query_exec.rows_returned;
+      Printf.sprintf "latency:        %.3f ms"
+        (float_of_int r.a_profile.Query_exec.dur_ns /. 1e6);
+      "";
+      Query_exec.render_profile r.a_profile;
+    ]
+
+let analyze_to_json r =
+  Printf.sprintf
+    "{\"table\":\"%s\",\"plan\":\"%s\",\"estimated_rows\":%d,\"rows_scanned\":%d,\"rows_returned\":%d,\"profile\":%s}"
+    (Provkit_obs.Metrics.json_escape r.a_table)
+    (Provkit_obs.Metrics.json_escape (plan_to_string r.a_plan))
+    r.a_estimated_rows r.a_stats.Query_exec.rows_scanned r.a_stats.Query_exec.rows_returned
+    (Query_exec.profile_to_json r.a_profile)

@@ -76,3 +76,29 @@ val explain_query : Database.t -> string -> explain_report
 
 val render_explain : explain_report -> string
 (** Multi-line human-readable rendering of a report. *)
+
+val execute_profiled : Database.t -> ast -> result * Query_exec.exec_stats * Query_exec.profile
+(** {!execute_stats} through the executor's profiled entry points: the
+    same result, plus the per-operator profile tree.  The profile root
+    covers the executor work (result shaping — projection, aggregate
+    folds — happens outside it). *)
+
+type analyze_report = {
+  a_table : string;
+  a_plan : Query_exec.plan;
+  a_estimated_rows : int;
+  a_stats : Query_exec.exec_stats;
+  a_profile : Query_exec.profile;
+}
+
+val analyze_query : Database.t -> string -> analyze_report
+(** EXPLAIN ANALYZE: parse, plan, and execute the query through
+    {!execute_profiled} — the [provctl sql --analyze] surface. *)
+
+val render_analyze : analyze_report -> string
+(** The {!render_explain} header (latency taken from the profile root)
+    followed by the indented operator tree with rows in/out and percent
+    of total per node. *)
+
+val analyze_to_json : analyze_report -> string
+(** One JSON object with the header fields and the raw profile tree. *)

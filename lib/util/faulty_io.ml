@@ -97,10 +97,18 @@ let flush t =
   t.ops <- `Flush :: t.ops;
   persist t (image t)
 
+(* Observers (e.g. the flight recorder) register here to learn that an
+   armed fault was actually applied.  A plain hook keeps the dependency
+   arrow pointing the right way: util knows nothing about obs. *)
+let fault_hook : (fault -> unit) option ref = ref None
+
+let set_fault_hook f = fault_hook := f
+
 let close t =
   if not t.closed then begin
     persist t (image ~closing:true t);
-    t.closed <- true
+    t.closed <- true;
+    match !fault_hook with None -> () | Some h -> List.iter h t.faults
   end
 
 let contents t = image ~closing:t.closed t

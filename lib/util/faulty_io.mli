@@ -46,6 +46,11 @@ val contents : sink -> string
 val bytes_written : sink -> int
 (** Total bytes offered by [write] calls, before any fault. *)
 
+val set_fault_hook : (fault -> unit) option -> unit
+(** Register an observer called once per armed fault when a sink
+    carrying faults is closed (the moment the corruption is actually
+    applied).  Used by the flight recorder; [None] unregisters. *)
+
 val parse_fault : string -> fault option
 (** Command-line spec: ["crash@N"], ["tear@N"], ["flip@N"],
     ["dup-flush"]. *)

@@ -20,6 +20,7 @@ let () =
       ("relstore.model", Test_relstore_model.suite);
       ("relstore.sql", Test_relstore_sql.suite);
       ("relstore.query_plan", Test_query_plan.suite);
+      ("relstore.profile", Test_profile.suite);
       ("relstore.corruption", Test_corruption.suite);
       ("textindex", Test_textindex.suite);
       ("graph.digraph", Test_digraph.suite);

@@ -244,6 +244,194 @@ let test_trace_sink_and_json () =
      in
      has "\\\"quoted\\\"" && has "\"name\":\"test.sink\"")
 
+(* --- trace trees -------------------------------------------------------- *)
+
+(* One fixed nested workload: with_span a > with_span b > record c. *)
+let nested_workload () =
+  T.with_span "test.tree.a" ~attrs:[ ("k", "a") ] (fun () ->
+      T.with_span "test.tree.b" (fun () ->
+          T.record "test.tree.c" ~start_ns:1L ~dur_ns:1L))
+
+let test_trace_tree_links () =
+  with_enabled @@ fun () ->
+  T.clear ();
+  T.seed_ids 99;
+  nested_workload ();
+  match T.recent () with
+  | [ c; b; a ] ->
+    (* children close (and therefore record) before their parents *)
+    Alcotest.(check string) "inner-first order" "test.tree.c" c.T.name;
+    Alcotest.(check string) "root last" "test.tree.a" a.T.name;
+    Alcotest.(check bool) "one trace id" true
+      (a.T.trace_id = b.T.trace_id && b.T.trace_id = c.T.trace_id);
+    Alcotest.(check bool) "span ids unique and non-zero" true
+      (a.T.span_id <> 0L && b.T.span_id <> 0L && c.T.span_id <> 0L
+      && a.T.span_id <> b.T.span_id && b.T.span_id <> c.T.span_id
+      && a.T.span_id <> c.T.span_id);
+    Alcotest.(check bool) "root has no parent" true (a.T.parent_id = None);
+    Alcotest.(check bool) "b under a" true (b.T.parent_id = Some a.T.span_id);
+    Alcotest.(check bool) "c under b" true (c.T.parent_id = Some b.T.span_id)
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_trace_assemble () =
+  with_enabled @@ fun () ->
+  T.clear ();
+  T.seed_ids 100;
+  nested_workload ();
+  let spans = T.recent () in
+  Alcotest.(check (list string)) "enclosure invariant holds" []
+    (T.enclosure_violations spans);
+  match T.assemble spans with
+  | [ { T.node = a; children = [ { T.node = b; children = [ { T.node = c; _ } ] } ] } ] ->
+    Alcotest.(check string) "root" "test.tree.a" a.T.name;
+    Alcotest.(check string) "child" "test.tree.b" b.T.name;
+    Alcotest.(check string) "leaf" "test.tree.c" c.T.name;
+    let rendered = T.render_trees (T.assemble spans) in
+    Alcotest.(check bool) "render indents the leaf" true
+      (Provkit_util.Strutil.contains_substring ~needle:"    test.tree.c" rendered)
+  | trees -> Alcotest.failf "expected one 3-level tree, got %d roots" (List.length trees)
+
+let test_trace_seeded_determinism () =
+  with_enabled @@ fun () ->
+  let run () =
+    T.clear ();
+    T.seed_ids 7;
+    nested_workload ();
+    List.map (fun s -> (s.T.trace_id, s.T.span_id, s.T.parent_id)) (T.recent ())
+  in
+  Alcotest.(check bool) "same seed, same ids" true (run () = run ())
+
+let test_trace_record_clamped () =
+  with_enabled @@ fun () ->
+  T.clear ();
+  let frame_start = ref 0L in
+  T.with_span "test.tree.outer" (fun () ->
+      (match T.open_spans () with
+      | f :: _ -> frame_start := f.T.o_start_ns
+      | [] -> Alcotest.fail "no open frame inside with_span");
+      (* a start before the enclosing frame would break enclosure *)
+      T.record "test.tree.early" ~start_ns:0L ~dur_ns:1L);
+  let early = List.find (fun s -> s.T.name = "test.tree.early") (T.recent ()) in
+  Alcotest.(check bool) "start clamped to the frame start" true
+    (early.T.start_ns >= !frame_start)
+
+(* Hand-built spans give exact durations, so folded self-times are exact:
+   a [0,100) with child b [10,40) with child c [12,17). *)
+let test_trace_folded () =
+  let mk name span_id parent_id start_ns dur_ns =
+    {
+      T.name;
+      attrs = [];
+      start_ns;
+      dur_ns;
+      trace_id = 1L;
+      span_id;
+      parent_id;
+    }
+  in
+  let spans =
+    [
+      mk "a" 10L None 0L 100L;
+      mk "b" 11L (Some 10L) 10L 30L;
+      mk "c" 12L (Some 11L) 12L 5L;
+    ]
+  in
+  Alcotest.(check (list (pair string int64)))
+    "self times tile the root"
+    [ ("a", 70L); ("a;b", 25L); ("a;b;c", 5L) ]
+    (T.folded spans)
+
+let test_trace_jsonl_versions () =
+  with_enabled @@ fun () ->
+  T.clear ();
+  T.seed_ids 13;
+  nested_workload ();
+  (* v2 roundtrip: every field survives *)
+  List.iter
+    (fun s ->
+      let line = T.span_to_json s in
+      Alcotest.(check bool) "line carries the v2 marker" true
+        (Provkit_util.Strutil.contains_substring ~needle:"\"v\":2" line);
+      match T.span_of_json line with
+      | None -> Alcotest.failf "v2 line failed to parse: %s" line
+      | Some s' ->
+        Alcotest.(check string) "name" s.T.name s'.T.name;
+        Alcotest.(check bool) "ids roundtrip" true
+          (s.T.trace_id = s'.T.trace_id && s.T.span_id = s'.T.span_id
+          && s.T.parent_id = s'.T.parent_id);
+        Alcotest.(check bool) "times roundtrip" true
+          (s.T.start_ns = s'.T.start_ns && s.T.dur_ns = s'.T.dur_ns))
+    (T.recent ());
+  (* v1 lines (pre-tree format) must keep parsing *)
+  let v1 =
+    {|{"name":"wal.compact","start_ns":123,"dur_ns":456,"attrs":{"dir":"wal.d"}}|}
+  in
+  (match T.span_of_json v1 with
+  | None -> Alcotest.fail "v1 line no longer parses"
+  | Some s ->
+    Alcotest.(check string) "v1 name" "wal.compact" s.T.name;
+    Alcotest.(check bool) "v1 times" true (s.T.start_ns = 123L && s.T.dur_ns = 456L);
+    Alcotest.(check bool) "v1 ids default" true
+      (s.T.trace_id = 0L && s.T.span_id = 0L && s.T.parent_id = None);
+    Alcotest.(check string) "v1 attrs survive" "wal.d" (List.assoc "dir" s.T.attrs));
+  Alcotest.(check bool) "garbage rejected" true (T.span_of_json "not json" = None)
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+module F = Provkit_obs.Flight
+
+let test_flight_ring_bounds () =
+  F.clear ();
+  let before = F.recorded () in
+  for i = 1 to 20 do
+    F.record "test.flight.flood" ~attrs:[ ("i", string_of_int i) ]
+  done;
+  Alcotest.(check int) "recorded counts past the ring" 20 (F.recorded () - before);
+  let kept = F.incidents () in
+  Alcotest.(check int) "ring keeps 16" 16 (List.length kept);
+  Alcotest.(check bool) "oldest first" true
+    (let seqs = List.map (fun i -> i.F.seq) kept in
+     List.sort compare seqs = seqs);
+  Alcotest.(check string) "newest survives" "20"
+    (match F.latest () with Some i -> List.assoc "i" i.F.attrs | None -> "");
+  F.clear ();
+  Alcotest.(check int) "clear drops kept incidents" 0 (List.length (F.incidents ()));
+  Alcotest.(check int) "recorded keeps counting" 20 (F.recorded () - before)
+
+(* The acceptance-path postmortem: a fault fires inside an open span and
+   the incident captures the failing span's ancestry plus metrics. *)
+let test_flight_fault_postmortem () =
+  with_enabled @@ fun () ->
+  F.clear ();
+  T.clear ();
+  F.install_fault_hook ();
+  Fun.protect ~finally:F.uninstall_fault_hook @@ fun () ->
+  F.set_context [ ("test_ctx", "stale"); ("suite", "obs") ];
+  F.set_context [ ("test_ctx", "fresh") ];
+  let before = F.recorded () in
+  T.with_span "test.flight.outer" (fun () ->
+      let buf = Buffer.create 64 in
+      let sink =
+        Provkit_util.Faulty_io.to_buffer ~faults:[ Provkit_util.Faulty_io.Torn_final_write 1 ] buf
+      in
+      Provkit_util.Faulty_io.write sink "doomed bytes";
+      Provkit_util.Faulty_io.close sink);
+  Alcotest.(check int) "one incident per armed fault" 1 (F.recorded () - before);
+  match F.latest () with
+  | None -> Alcotest.fail "no incident captured"
+  | Some i ->
+    Alcotest.(check string) "reason" "io.fault.injected" i.F.reason;
+    Alcotest.(check string) "fault spec attr" "tear@1" (List.assoc "fault" i.F.attrs);
+    Alcotest.(check bool) "ancestry holds the open span" true
+      (List.exists (fun o -> o.T.o_name = "test.flight.outer") i.F.ancestry);
+    Alcotest.(check string) "later context wins" "fresh" (List.assoc "test_ctx" i.F.context);
+    Alcotest.(check string) "merged context kept" "obs" (List.assoc "suite" i.F.context);
+    let json = F.to_json i in
+    let has needle = Provkit_util.Strutil.contains_substring ~needle json in
+    Alcotest.(check bool) "json is a postmortem" true (has "\"postmortem\":1");
+    Alcotest.(check bool) "json names the open span" true (has "test.flight.outer");
+    Alcotest.(check bool) "json embeds metrics" true (has "\"metrics\"")
+
 let suite =
   [
     Alcotest.test_case "quantiles: constant" `Quick test_quantiles_constant;
@@ -259,4 +447,12 @@ let suite =
     Alcotest.test_case "names registry" `Quick test_names_registered;
     Alcotest.test_case "trace ring bounds" `Quick test_trace_ring;
     Alcotest.test_case "trace sink + json" `Quick test_trace_sink_and_json;
+    Alcotest.test_case "trace tree links" `Quick test_trace_tree_links;
+    Alcotest.test_case "trace assemble + render" `Quick test_trace_assemble;
+    Alcotest.test_case "trace seeded ids" `Quick test_trace_seeded_determinism;
+    Alcotest.test_case "trace record clamping" `Quick test_trace_record_clamped;
+    Alcotest.test_case "trace folded stacks" `Quick test_trace_folded;
+    Alcotest.test_case "trace jsonl v1/v2" `Quick test_trace_jsonl_versions;
+    Alcotest.test_case "flight ring bounds" `Quick test_flight_ring_bounds;
+    Alcotest.test_case "flight fault postmortem" `Quick test_flight_fault_postmortem;
   ]

@@ -126,10 +126,26 @@ let write_file path contents =
 
 let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
 
+(* Scratch trees live under one temp directory, removed at exit — the
+   fixtures are build artifacts of the test run, never committed. *)
+let scratch_root =
+  lazy
+    (let root = Filename.temp_file "provlint_fixture" "" in
+     Sys.remove root;
+     Sys.mkdir root 0o700;
+     at_exit (fun () ->
+         let rec rm path =
+           if Sys.is_directory path then begin
+             Array.iter (fun entry -> rm (Filename.concat path entry)) (Sys.readdir path);
+             Sys.rmdir path
+           end
+           else Sys.remove path
+         in
+         try rm root with Sys_error _ -> ());
+     root)
+
 let scratch_tree tag files =
-  let root =
-    Filename.concat (Sys.getcwd ()) ("provlint_fixture_" ^ tag)
-  in
+  let root = Filename.concat (Lazy.force scratch_root) ("provlint_fixture_" ^ tag) in
   ensure_dir root;
   List.iter
     (fun (rel, contents) ->
@@ -149,6 +165,8 @@ let names_fixture =
   {|
 let used = "prov.fixture.used"
 let unused = "prov.fixture.unused"
+let span_used = "fixture.span.used"
+let span_unused = "fixture.span.unused"
 |}
 
 let obs_flagging () =
@@ -160,18 +178,22 @@ let obs_flagging () =
           {|
 let () = ignore Obs.Names.used
 let stray = "prov.fixture.stray"
+let f body = Obs.Trace.with_span "fixture.span.stray" body
+let g () = Obs.Trace.record Obs.Names.span_used 1
 |} );
       ]
   in
   let fs =
     Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
   in
-  check_count "stray literal + unused registration" "obs-names" 2 fs;
+  check_count "stray metric + unused metric + stray span + unused span" "obs-names" 4 fs;
   let has needle =
     List.exists (fun f -> Provkit_util.Strutil.contains_substring ~needle f.Finding.message) fs
   in
   Alcotest.(check bool) "flags the stray literal" true (has "prov.fixture.stray");
-  Alcotest.(check bool) "flags the unused registration" true (has "prov.fixture.unused")
+  Alcotest.(check bool) "flags the unused registration" true (has "prov.fixture.unused");
+  Alcotest.(check bool) "flags the stray span name" true (has "fixture.span.stray");
+  Alcotest.(check bool) "flags the unused span" true (has "fixture.span.unused")
 
 let obs_suppressed () =
   let root =
@@ -183,6 +205,8 @@ let obs_suppressed () =
 let () = ignore Obs.Names.used
 let () = ignore Obs.Names.unused
 let stray = "prov.fixture.stray" [@@provlint.allow "obs-names"]
+let f body = Obs.Trace.with_span "fixture.span.used" body
+let g () = Obs.Trace.record Obs.Names.span_unused 1
 |} );
       ]
   in
@@ -190,6 +214,30 @@ let stray = "prov.fixture.stray" [@@provlint.allow "obs-names"]
     Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
   in
   check_count "suppressed + all registered names used" "obs-names" 0 fs
+
+(* bin/ keeps the freedom to improvise span names: CLI phase spans like
+   "workload.simulate" are not library API, so only lib/ sites must use
+   registered constants. *)
+let obs_span_bin_exempt () =
+  let root =
+    scratch_tree "obs_span_bin"
+      [
+        ("lib/obs/names.ml", names_fixture);
+        ( "lib/user.ml",
+          {|
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.unused
+let f body = Obs.Trace.with_span "fixture.span.used" body
+let g () = Obs.Trace.record Obs.Names.span_unused 1
+|} );
+        ("bin/tool.ml", {|let f body = Obs.Trace.with_span "cli.adhoc.phase" body|});
+      ]
+  in
+  let fs =
+    Driver.lint_files ~checks:[ "obs-names" ] ~root
+      [ "lib/obs/names.ml"; "lib/user.ml"; "bin/tool.ml" ]
+  in
+  check_count "ad-hoc span literal in bin/ is fine" "obs-names" 0 fs
 
 (* --- grep parity with the retired tools/obs_lint.sh ------------------ *)
 
@@ -312,6 +360,7 @@ let suite =
     Alcotest.test_case "banned-constructs bin printf" `Quick banned_bin_printf_ok;
     Alcotest.test_case "obs-names flags" `Quick obs_flagging;
     Alcotest.test_case "obs-names suppressed" `Quick obs_suppressed;
+    Alcotest.test_case "obs-names span bin exempt" `Quick obs_span_bin_exempt;
     Alcotest.test_case "obs-names grep parity" `Quick grep_parity;
     Alcotest.test_case "json rendering" `Quick json_rendering;
     Alcotest.test_case "parse errors surface" `Quick parse_error_reported;

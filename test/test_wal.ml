@@ -242,10 +242,12 @@ let test_crash_point_sweep () =
     let appends_before =
       Provkit_obs.Metrics.counter_value Provkit_obs.Names.journal_appends
     in
-    let recovered =
-      try PL.ops (PL.of_bytes (String.sub bytes 0 cut)) with
-      | Relstore.Errors.Corrupt _ -> [] (* a cut inside the magic recovers nothing *)
+    let incidents_before = Provkit_obs.Flight.recorded () in
+    let loaded =
+      try Some (PL.of_bytes (String.sub bytes 0 cut)) with
+      | Relstore.Errors.Corrupt _ -> None (* a cut inside the magic recovers nothing *)
     in
+    let recovered = match loaded with Some log -> PL.ops log | None -> [] in
     if not (is_prefix recovered) then
       Alcotest.failf "cut at byte %d/%d recovered a non-prefix (%d ops)" cut
         (String.length bytes) (List.length recovered);
@@ -255,7 +257,21 @@ let test_crash_point_sweep () =
     in
     if appends_delta <> List.length recovered then
       Alcotest.failf "cut at byte %d: append counter moved by %d for %d recovered ops"
-        cut appends_delta (List.length recovered)
+        cut appends_delta (List.length recovered);
+    (* The flight recorder must log exactly one postmortem incident per
+       truncated load and none for clean ones.  A load is truncated iff
+       it salvaged fewer bytes than it was offered (a cut on a record
+       boundary re-encodes to exactly [cut] bytes); cuts inside the
+       magic raise before any salvage and must stay silent too. *)
+    let expected_incidents =
+      match loaded with
+      | None -> 0
+      | Some log -> if PL.byte_size log < cut then 1 else 0
+    in
+    let incident_delta = Provkit_obs.Flight.recorded () - incidents_before in
+    if incident_delta <> expected_incidents then
+      Alcotest.failf "cut at byte %d: %d flight incident(s) recorded, expected %d" cut
+        incident_delta expected_incidents
   done
 
 let suite =

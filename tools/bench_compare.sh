@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]
+#
+# Compares two provkit-bench/1 artifacts (as written by
+# `bench/main.exe --json`) row by row and exits non-zero when any
+# benchmark's ns/op regressed by more than THRESHOLD_PCT (default 15).
+#
+# The artifact keeps one row object per line exactly so this script can
+# work with grep/sed/awk alone — no jq dependency in the image.
+set -u
+
+baseline="${1:?usage: bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]}"
+candidate="${2:?usage: bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]}"
+threshold="${3:-15}"
+
+for f in "$baseline" "$candidate"; do
+  if ! grep -q '"schema": "provkit-bench/1"' "$f"; then
+    echo "bench_compare: $f is not a provkit-bench/1 artifact" >&2
+    exit 2
+  fi
+done
+
+# Emit "name ns_per_op" pairs from the one-object-per-line rows.
+rows() {
+  grep -o '{"name":"[^"]*","iters":[0-9]*,"ns_per_op":[0-9.]*}' "$1" |
+    sed 's/{"name":"\([^"]*\)","iters":[0-9]*,"ns_per_op":\([0-9.]*\)}/\1 \2/'
+}
+
+rows "$baseline" > "${TMPDIR:-/tmp}/bench_base.$$"
+rows "$candidate" > "${TMPDIR:-/tmp}/bench_cand.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_base.$$" "${TMPDIR:-/tmp}/bench_cand.$$"' EXIT
+
+awk -v thr="$threshold" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    name = $1; cand = $2
+    if (!(name in base)) { printf "NEW       %-40s %12.1f ns/op\n", name, cand; next }
+    b = base[name]
+    if (b + 0 == 0 || cand + 0 == 0) { printf "SKIP      %-40s (zero sample)\n", name; next }
+    delta = 100.0 * (cand / b - 1.0)
+    tag = "ok"
+    if (delta > thr) { tag = "REGRESSED"; bad++ }
+    else if (delta < -thr) { tag = "improved" }
+    printf "%-9s %-40s %12.1f -> %12.1f ns/op  %+6.1f%%\n", tag, name, b, cand, delta
+  }
+  END {
+    if (bad > 0) { printf "\nbench_compare: %d benchmark(s) regressed more than %s%%\n", bad, thr; exit 1 }
+    print "\nbench_compare: no regressions beyond " thr "%"
+  }
+' "${TMPDIR:-/tmp}/bench_base.$$" "${TMPDIR:-/tmp}/bench_cand.$$"

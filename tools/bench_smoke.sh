@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench_smoke.sh BENCH_EXE
+#
+# Quick end-to-end check of the bench telemetry pipeline, run from the
+# @bench-smoke dune alias on every `dune runtest`:
+#   1. a quick bench run must produce a valid provkit-bench/1 artifact;
+#   2. comparing the artifact against itself must pass;
+#   3. a synthetic 2x regression must make bench_compare.sh fail.
+set -eu
+
+bench_exe="${1:?usage: bench_smoke.sh BENCH_EXE}"
+here="$(cd "$(dirname "$0")" && pwd)"
+work="$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+BENCH_QUICK=1 BENCH_OUT="$work/base.json" "$bench_exe" --json > "$work/stdout.txt" 2>&1 ||
+  { echo "bench_smoke: bench run failed"; cat "$work/stdout.txt"; exit 1; }
+
+grep -q '"schema": "provkit-bench/1"' "$work/base.json" ||
+  { echo "bench_smoke: artifact missing provkit-bench/1 schema marker"; exit 1; }
+grep -q '"ns_per_op":' "$work/base.json" ||
+  { echo "bench_smoke: artifact has no ns_per_op rows"; exit 1; }
+
+bash "$here/bench_compare.sh" "$work/base.json" "$work/base.json" > /dev/null ||
+  { echo "bench_smoke: self-comparison unexpectedly flagged a regression"; exit 1; }
+
+# Double every ns_per_op: a guaranteed >15% regression the comparator
+# must catch, otherwise the regression gate is not actually gating.
+awk '{
+  if (match($0, /"ns_per_op":[0-9.]+/)) {
+    v = substr($0, RSTART + 12, RLENGTH - 12)
+    printf "%s\"ns_per_op\":%.3f%s\n", substr($0, 1, RSTART - 1), v * 2, substr($0, RSTART + RLENGTH)
+  } else print
+}' "$work/base.json" > "$work/slow.json"
+
+if bash "$here/bench_compare.sh" "$work/base.json" "$work/slow.json" > /dev/null; then
+  echo "bench_smoke: comparator missed a synthetic 2x regression"
+  exit 1
+fi
+
+echo "bench_smoke: artifact valid, comparator gates regressions"
