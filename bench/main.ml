@@ -180,12 +180,17 @@ let measure_obs_overhead () =
   in
   let probe_iters = if quick then 200 else 2000 in
   let scan_iters = if quick then 50 else 200 in
+  (* The probes repeat identical queries, which is exactly what the
+     result cache short-circuits — leave it on and both the off and on
+     runs would time cache hits instead of the instrumented query path. *)
+  Relstore.Query_exec.set_cache_enabled false;
   let rows =
     [
       row "index probe (worst case)" probe_work probe_iters (Array.length probes);
       row "full scan (representative)" scan_work scan_iters 1;
     ]
   in
+  Relstore.Query_exec.set_cache_enabled true;
   Provkit_obs.Metrics.set_enabled was_on;
   rows
 
@@ -201,6 +206,103 @@ let run_obs_overhead measured =
            Printf.sprintf "%+.1f%%" (100.0 *. ((on_ns /. off_ns) -. 1.0));
          ])
        measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 1.6: hot-path rows — read cache and WAL group commit            *)
+(* ------------------------------------------------------------------ *)
+
+(* The two PR-5 hot paths, each as a before/after pair of artifact rows
+   so bench_compare.sh can gate the speedups:
+   - a repeated scan-shaped select, cache off vs warm cache;
+   - WAL ingest of the same op list, one fsync per append vs
+     group-committed batches.
+   Manual timing loops (not bechamel): both paths are stateful — the
+   cache must stay warm across runs, the WAL must write to a fresh
+   directory per run — which OLS sampling does not accommodate. *)
+
+let time_per_op iters per_iter f =
+  f ();
+  let t0 = Provkit_util.Timing.now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let dt = Int64.to_float (Int64.sub (Provkit_util.Timing.now_ns ()) t0) in
+  dt /. float_of_int (iters * per_iter)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let measure_hot_paths () =
+  let ds = Lazy.force dataset in
+  let store = Harness.Dataset.store ds in
+  let db = Core.Prov_schema.to_database store in
+  let nodes = Relstore.Database.table db "prov_node" in
+  let pred = Relstore.Predicate.Eq ("kind", Relstore.Value.Int 1) in
+  let select_iters = if quick then 100 else 1000 in
+  Relstore.Query_exec.set_cache_enabled false;
+  let cold_ns =
+    time_per_op select_iters 1 (fun () ->
+        ignore (Relstore.Query_exec.select ~where:pred nodes))
+  in
+  Relstore.Query_exec.set_cache_enabled true;
+  Relstore.Query_exec.clear_cache ();
+  let cached_ns =
+    time_per_op select_iters 1 (fun () ->
+        ignore (Relstore.Query_exec.select ~where:pred nodes))
+  in
+  (* A realistic op stream for the ingest pair: record a synthetic burst
+     of visits through the journaling store. *)
+  let wal_ops =
+    let rstore, journal = Core.Prov_log.recording_store () in
+    for i = 1 to if quick then 128 else 512 do
+      ignore
+        (Core.Prov_store.add_visit rstore ~engine_visit:i
+           ~url:(Printf.sprintf "https://bench.example/%d" i)
+           ~title:"bench" ~transition:Browser.Transition.Link ~tab:1 ~time:i)
+    done;
+    Core.Prov_log.ops journal
+  in
+  let n_ops = List.length wal_ops in
+  let wal_iters = if quick then 3 else 10 in
+  let tmp_root =
+    let d = Filename.temp_file "provkit_bench_wal" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let run_no = ref 0 in
+  let module Seg = Core.Prov_log.Segmented in
+  let ingest ~batched () =
+    incr run_no;
+    let dir = Filename.concat tmp_root (Printf.sprintf "run%d" !run_no) in
+    let config =
+      if batched then
+        { Seg.default_config with Seg.group_commit_ops = 64; Seg.group_commit_bytes = 1 lsl 20 }
+      else Seg.default_config
+    in
+    let h = Seg.open_ ~config dir in
+    if batched then Seg.append_batch h wal_ops else List.iter (Seg.append h) wal_ops;
+    Seg.close h
+  in
+  let unbatched_ns = time_per_op wal_iters n_ops (ingest ~batched:false) in
+  let batched_ns = time_per_op wal_iters n_ops (ingest ~batched:true) in
+  remove_tree tmp_root;
+  [
+    ("hot-select-cold", select_iters, cold_ns);
+    ("hot-select-cached", select_iters, cached_ns);
+    ("wal-ingest-unbatched", wal_iters * n_ops, unbatched_ns);
+    ("wal-ingest-batched", wal_iters * n_ops, batched_ns);
+  ]
+
+let run_hot_paths measured =
+  print_endline "== hot paths (read cache, WAL group commit; ns/op) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "path"; "ns/op" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.0f" ns ]) measured);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -236,7 +338,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~overhead =
+let write_artifact ~micro ~hot ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -254,14 +356,15 @@ let write_artifact ~micro ~overhead =
        (Core.Prov_store.node_count (Harness.Dataset.store ds))
        (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
   Buffer.add_string buf "  \"rows\": [\n";
+  let all_rows = List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot in
   List.iteri
-    (fun i (name, ns) ->
+    (fun i (name, iters, ns) ->
       Buffer.add_string buf
         (Printf.sprintf "    {\"name\":\"%s\",\"iters\":%d,\"ns_per_op\":%s}%s\n"
            (Provkit_obs.Metrics.json_escape name)
-           micro_iters (json_num ns)
-           (if i + 1 < List.length micro then "," else "")))
-    micro;
+           iters (json_num ns)
+           (if i + 1 < List.length all_rows then "," else "")))
+    all_rows;
   Buffer.add_string buf "  ],\n  \"obs_overhead\": [\n";
   List.iteri
     (fun i (name, off_ns, on_ns) ->
@@ -291,7 +394,9 @@ let () =
     (Core.Prov_store.edge_count (Harness.Dataset.store ds));
   let micro = measure_micro () in
   run_micro micro;
+  let hot = measure_hot_paths () in
+  run_hot_paths hot;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~overhead
+  if json_mode then write_artifact ~micro ~hot ~overhead
   else run_experiments ()

@@ -1,4 +1,11 @@
-type t = { places : Places_db.t; mutable cache : Places_db.place list }
+type t = {
+  places : Places_db.t;
+  mutable cache : Places_db.place list;
+  (* moz_places epoch the snapshot was built at: [suggest] rebuilds
+     whenever the store has moved on, so suggestions can never be
+     served from a stale snapshot. *)
+  mutable cache_epoch : int;
+}
 
 type suggestion = {
   place_id : int;
@@ -11,8 +18,13 @@ type suggestion = {
 let load places =
   List.filter (fun (p : Places_db.place) -> not p.Places_db.hidden) (Places_db.places places)
 
-let build places = { places; cache = load places }
-let refresh t = t.cache <- load t.places
+let build places = { places; cache = load places; cache_epoch = Places_db.places_epoch places }
+
+let refresh t =
+  t.cache <- load t.places;
+  t.cache_epoch <- Places_db.places_epoch t.places
+
+let ensure_fresh t = if Places_db.places_epoch t.places <> t.cache_epoch then refresh t
 
 let matches ~needle (p : Places_db.place) =
   let needle = String.lowercase_ascii needle in
@@ -36,6 +48,7 @@ let adaptive_scores t ~typed =
 let suggest ?(limit = 6) t typed =
   if String.trim typed = "" then []
   else begin
+    ensure_fresh t;
     let adaptive = adaptive_scores t ~typed in
     let candidates = List.filter (matches ~needle:typed) t.cache in
     let scored =

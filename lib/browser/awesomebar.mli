@@ -19,11 +19,17 @@ type suggestion = {
 }
 
 val build : Places_db.t -> t
+
 val refresh : t -> unit
+(** Force a snapshot rebuild.  Normally unnecessary: {!suggest}
+    validates the snapshot against {!Places_db.places_epoch} and
+    rebuilds by itself when the store has changed. *)
 
 val suggest : ?limit:int -> t -> string -> suggestion list
 (** Suggestions for the typed string ([limit] defaults to 6, like the
-    awesome bar's dropdown).  Empty input yields nothing. *)
+    awesome bar's dropdown).  Empty input yields nothing.  Always
+    reflects the current store: a stale snapshot (the store mutated
+    since it was built) is rebuilt before matching. *)
 
 val accept : t -> input:string -> place_id:int -> unit
 (** Record that the user picked a suggestion: future [suggest] calls for

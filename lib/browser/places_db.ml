@@ -97,6 +97,12 @@ let create () =
 let database t = t.db
 let table t name = R.Database.table t.db name
 
+(* The moz_places modification epoch: every visit, bookmark or title
+   refresh lands in moz_places, so features that snapshot place rows
+   (the awesomebar) can validate their snapshot with one integer
+   compare. *)
+let places_epoch t = R.Table.epoch (table t "moz_places")
+
 type place = {
   place_id : int;
   url : string;
@@ -373,3 +379,5 @@ let apply_event t event =
                  ("last_used", vint time);
                ]))
       fields
+
+let apply_events t events = List.iter (apply_event t) events

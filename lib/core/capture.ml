@@ -264,6 +264,14 @@ let handle t event =
       | None -> ()
     end
 
+(* Batch ingest: feed a recorded stream in one call.  The mutations
+   still flow through the store observer one by one (ordering and
+   per-event semantics are untouched); when the observer is a
+   group-commit WAL, the amortization happens there — this entry point
+   exists so replay-style callers have a single seam to hand a whole
+   batch to. *)
+let handle_batch t events = List.iter (handle t) events
+
 let make config =
   {
     config;

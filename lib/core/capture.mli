@@ -37,6 +37,13 @@ val attach : ?config:config -> Browser.Engine.t -> t
 val observer : ?config:config -> unit -> t * (Browser.Event.t -> unit)
 (** A detached capture for replaying recorded event logs. *)
 
+val handle_batch : t -> Browser.Event.t list -> unit
+(** Ingest a whole recorded event stream in order — the batch entry
+    point.  Semantically identical to feeding the events one at a time;
+    pair the capture's store with a group-commit
+    {!Prov_log.Segmented} WAL to amortize the fsync cost across the
+    batch. *)
+
 val config : t -> config
 val store : t -> Prov_store.t
 val time_index : t -> Time_index.t

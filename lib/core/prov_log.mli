@@ -110,10 +110,19 @@ val compact : Prov_store.t -> Relstore.Database.t * t
     salvages. *)
 
 module Segmented : sig
-  type config = { max_segment_bytes : int  (** rotate beyond this size *) }
+  type config = {
+    max_segment_bytes : int;  (** rotate beyond this size *)
+    group_commit_ops : int;
+        (** flush once at least this many appends are pending; [1]
+            (the default) keeps every append individually durable *)
+    group_commit_bytes : int;
+        (** ... or once this many pending bytes accumulate, whichever
+            trigger fires first *)
+  }
 
   val default_config : config
-  (** 256 KiB segments. *)
+  (** 256 KiB segments, group-commit off ([group_commit_ops = 1],
+      [group_commit_bytes = 64] KiB). *)
 
   type handle
 
@@ -126,8 +135,26 @@ module Segmented : sig
       files being written. *)
 
   val append : handle -> op -> unit
-  (** Frame, checksum, and persist one operation; rotates the active
-      segment when the size budget is exceeded. *)
+  (** Frame, checksum, and write one operation; flushed according to the
+      group-commit triggers ([group_commit_ops = 1] flushes before
+      returning, the historical behaviour).  Rotates the active segment
+      when the size budget is exceeded (pending appends are flushed
+      first: a rotation never strands undurable ops in a closed
+      segment). *)
+
+  val append_batch : handle -> op list -> unit
+  (** Append a whole list with one sink write and at most one flush —
+      the amortized ingest path.  A crash mid-batch can tear the batch;
+      recovery keeps a frame-aligned prefix of it. *)
+
+  val durable : handle -> unit
+  (** Barrier: flush any pending appends now.  After [durable] returns,
+      every append made so far survives a crash (modulo injected
+      faults).  A no-op when nothing is pending. *)
+
+  val pending : handle -> int
+  (** Appends written to the active sink but not yet flushed — what a
+      crash right now would lose. *)
 
   val attach : handle -> Prov_store.t -> unit
   (** Mirror every subsequent mutation of the store into the WAL. *)
@@ -141,6 +168,7 @@ module Segmented : sig
       into an empty segment. *)
 
   val close : handle -> unit
+  (** Flushes pending appends, then closes the active sink. *)
 
   val segments : handle -> string list
   (** Live segment file names, oldest first. *)

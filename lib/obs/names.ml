@@ -38,6 +38,8 @@ let wal_recoveries = "prov.wal.recoveries.total"
 let wal_recovered_ops = "prov.wal.recoveries.ops"
 let wal_recovered_segments = "prov.wal.recoveries.segments"
 let wal_recoveries_truncated = "prov.wal.recoveries.truncated"
+let wal_batch_ops = "prov.wal.batch.ops"
+let wal_fsyncs_per_append = "prov.wal.fsyncs.per_append"
 
 (* --- query execution --- *)
 
@@ -48,6 +50,10 @@ let query_index_range = "prov.query.plan.index_range"
 let query_rows_scanned = "prov.query.rows.scanned"
 let query_rows_returned = "prov.query.rows.returned"
 let query_latency_ns = "prov.query.latency.ns"
+let query_cache_hits = "prov.query.cache.hits"
+let query_cache_misses = "prov.query.cache.misses"
+let query_cache_evictions = "prov.query.cache.evictions"
+let query_cache_invalidations = "prov.query.cache.invalidations"
 
 (* --- tracer --- *)
 
@@ -81,6 +87,8 @@ let all =
     wal_recovered_ops;
     wal_recovered_segments;
     wal_recoveries_truncated;
+    wal_batch_ops;
+    wal_fsyncs_per_append;
     query_count;
     query_full_scan;
     query_index_eq;
@@ -88,6 +96,10 @@ let all =
     query_rows_scanned;
     query_rows_returned;
     query_latency_ns;
+    query_cache_hits;
+    query_cache_misses;
+    query_cache_evictions;
+    query_cache_invalidations;
     trace_spans;
     trace_dropped;
     flight_incidents;
@@ -107,3 +119,4 @@ let registered name = List.mem name all
 let span_query = "query"
 let span_wal_compact = "wal.compact"
 let span_wal_recover = "wal.recover"
+let span_wal_flush = "wal.flush"

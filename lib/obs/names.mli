@@ -52,6 +52,14 @@ val wal_recovered_segments : string
 val wal_recoveries_truncated : string
 (** Recoveries that stopped at a damaged frame. *)
 
+val wal_batch_ops : string
+(** Histogram of ops persisted per group-commit flush. *)
+
+val wal_fsyncs_per_append : string
+(** Gauge: fsyncs issued per op appended over a handle's lifetime; 1.0
+    means one fsync for every append, lower means group-commit is
+    amortizing. *)
+
 val query_count : string
 (** Query_exec operations executed (select/count/join/group_count). *)
 
@@ -68,6 +76,18 @@ val query_rows_returned : string
 
 val query_latency_ns : string
 (** Histogram of per-query latency in nanoseconds. *)
+
+val query_cache_hits : string
+(** Query results served from the epoch-validated cache. *)
+
+val query_cache_misses : string
+(** Cacheable queries that had to execute (absent or stale entry). *)
+
+val query_cache_evictions : string
+(** Entries dropped by the LRU bound. *)
+
+val query_cache_invalidations : string
+(** Entries found stale (table epoch moved) and removed. *)
 
 val trace_spans : string
 
@@ -96,3 +116,6 @@ val span_query : string
 val span_wal_compact : string
 
 val span_wal_recover : string
+
+val span_wal_flush : string
+(** Group-commit flushes of the segmented WAL's pending batch. *)

@@ -9,9 +9,15 @@ exception Constraint_violation of string
 exception No_such_table of string
 exception No_such_column of string
 exception No_such_row of int
+
+exception Arity_mismatch of string
+(** A key's length did not match the column list it is matched against
+    (e.g. {!Table.find_by} given two columns but one value). *)
+
 exception Corrupt of string
 (** Deserialization failed. *)
 
 val type_mismatch : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val constraint_violation : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val arity_mismatch : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val corrupt : ('a, Format.formatter, unit, 'b) format4 -> 'a

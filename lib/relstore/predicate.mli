@@ -30,4 +30,11 @@ val conjunctive_range : t -> (string * Value.t option * Value.t option) option
     ([Between], [Cmp] with Le/Ge/Lt/Gt is widened to inclusive bounds
     only when exact: Lt/Gt return [None]), if any. *)
 
+val fingerprint : Buffer.t -> t -> bool
+(** Append a deterministic, unambiguous structural encoding of the
+    predicate (tagged, length-prefixed) to the buffer, for use in cache
+    keys.  Returns [false] — and the buffer contents must be discarded —
+    when the predicate contains a [Custom] closure, whose behaviour no
+    encoding can capture. *)
+
 val pp : Format.formatter -> t -> unit

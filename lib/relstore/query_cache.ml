@@ -1,0 +1,102 @@
+(* Bounded LRU for query results: a hash table over an intrusive
+   doubly-linked recency list, so find/put are O(1) and eviction drops
+   the coldest entry.  Entries carry the table epoch they were computed
+   at; validation is a single integer compare, and a stale entry is
+   removed on sight (the table moved on, the old result can never
+   become valid again). *)
+
+type payload =
+  | Rows of (int * Row.t) list
+  | Count of int
+  | Groups of (Value.t * int) list
+
+type node = {
+  key : string;
+  mutable epoch : int;
+  mutable payload : payload;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  mutable capacity : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+}
+
+let create ?(capacity = 512) () =
+  { capacity = max 0 capacity; tbl = Hashtbl.create 256; head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let remove t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+(* Drop cold entries until the bound holds; returns how many went. *)
+let enforce_capacity t =
+  let evicted = ref 0 in
+  while Hashtbl.length t.tbl > t.capacity do
+    match t.tail with
+    | Some node ->
+      remove t node;
+      incr evicted
+    | None -> assert false
+  done;
+  !evicted
+
+let set_capacity t n =
+  t.capacity <- max 0 n;
+  ignore (enforce_capacity t)
+
+type lookup = Hit of payload | Stale | Absent
+
+let find t ~key ~epoch =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> Absent
+  | Some node when node.epoch = epoch ->
+    unlink t node;
+    push_front t node;
+    Hit node.payload
+  | Some node ->
+    remove t node;
+    Stale
+
+let put t ~key ~epoch payload =
+  if t.capacity = 0 then 0
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some node ->
+      node.epoch <- epoch;
+      node.payload <- payload;
+      unlink t node;
+      push_front t node
+    | None ->
+      let node = { key; epoch; payload; prev = None; next = None } in
+      Hashtbl.replace t.tbl key node;
+      push_front t node);
+    enforce_capacity t
+  end

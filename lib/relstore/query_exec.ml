@@ -150,6 +150,80 @@ let executed ~op ~table_name run =
     (result, { plan; rows_scanned = scanned; rows_returned = returned; elapsed_ns = elapsed })
   end
 
+(* --- result cache --------------------------------------------------- *)
+
+(* The plain [select]/[count]/[group_count] entry points consult a
+   process-wide LRU keyed by (table uid, op, predicate, order, limit)
+   and validated against the table's modification epoch.  The [*_stats]
+   and [*_profiled] variants never do: their callers asked to see the
+   execution, so they always run it.  Predicates containing a [Custom]
+   closure are uncacheable and bypass the cache entirely. *)
+
+let m_cache_hits = Obs.Metrics.counter Obs.Names.query_cache_hits
+let m_cache_misses = Obs.Metrics.counter Obs.Names.query_cache_misses
+let m_cache_evictions = Obs.Metrics.counter Obs.Names.query_cache_evictions
+let m_cache_invalidations = Obs.Metrics.counter Obs.Names.query_cache_invalidations
+
+let cache = Query_cache.create ()
+let cache_enabled = ref true
+
+let set_cache_enabled b = cache_enabled := b
+let set_cache_capacity n = Query_cache.set_capacity cache n
+let cache_capacity () = Query_cache.capacity cache
+let cache_length () = Query_cache.length cache
+let clear_cache () = Query_cache.clear cache
+
+(* None = this query cannot be keyed (Custom predicate): run cold. *)
+let cache_key ~op ?(aux = "") ~order_by ~limit table where =
+  let buf = Buffer.create 64 in
+  Varint.write_unsigned buf (Table.uid table);
+  Codec.write_string buf op;
+  Codec.write_string buf aux;
+  if not (Predicate.fingerprint buf where) then None
+  else begin
+    Varint.write_unsigned buf (List.length order_by);
+    List.iter
+      (fun spec ->
+        match spec with
+        | Asc c ->
+          Buffer.add_char buf 'a';
+          Codec.write_string buf c
+        | Desc c ->
+          Buffer.add_char buf 'd';
+          Codec.write_string buf c)
+      order_by;
+    (match limit with
+    | None -> Buffer.add_char buf '\000'
+    | Some n ->
+      Buffer.add_char buf '\001';
+      Varint.write_unsigned buf n);
+    Some (Buffer.contents buf)
+  end
+
+(* Serve from the cache or run [cold] and fill.  [decode] projects the
+   stored payload back out; the op tag inside the key guarantees the
+   constructor matches. *)
+let with_cache ~key ~table ~decode ~encode cold =
+  match key with
+  | None -> cold ()
+  | Some key ->
+    let epoch = Table.epoch table in
+    let miss () =
+      Obs.Metrics.incr m_cache_misses;
+      let result = cold () in
+      let evicted = Query_cache.put cache ~key ~epoch (encode result) in
+      Obs.Metrics.add m_cache_evictions evicted;
+      result
+    in
+    (match Query_cache.find cache ~key ~epoch with
+    | Query_cache.Hit payload ->
+      Obs.Metrics.incr m_cache_hits;
+      decode payload
+    | Query_cache.Stale ->
+      Obs.Metrics.incr m_cache_invalidations;
+      miss ()
+    | Query_cache.Absent -> miss ())
+
 (* --- execution ------------------------------------------------------ *)
 
 let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
@@ -182,8 +256,18 @@ let select_stats ?(where = Predicate.True) ?(order_by = []) ?limit table =
       in
       (final, plan_of_access access, List.length cands, List.length final))
 
-let select ?where ?order_by ?limit table =
-  fst (select_stats ?where ?order_by ?limit table)
+let select ?(where = Predicate.True) ?(order_by = []) ?limit table =
+  if not !cache_enabled then fst (select_stats ~where ~order_by ?limit table)
+  else
+    with_cache
+      ~key:(cache_key ~op:"select" ~order_by ~limit table where)
+      ~table
+      ~decode:(fun payload ->
+        match payload with
+        | Query_cache.Rows rows -> rows
+        | Query_cache.Count _ | Query_cache.Groups _ -> assert false)
+      ~encode:(fun rows -> Query_cache.Rows rows)
+      (fun () -> fst (select_stats ~where ~order_by ?limit table))
 
 let count_stats ?(where = Predicate.True) table =
   let schema = Table.schema table in
@@ -195,7 +279,18 @@ let count_stats ?(where = Predicate.True) table =
       in
       (n, plan_of_access access, List.length cands, 1))
 
-let count ?where table = fst (count_stats ?where table)
+let count ?(where = Predicate.True) table =
+  if not !cache_enabled then fst (count_stats ~where table)
+  else
+    with_cache
+      ~key:(cache_key ~op:"count" ~order_by:[] ~limit:None table where)
+      ~table
+      ~decode:(fun payload ->
+        match payload with
+        | Query_cache.Count n -> n
+        | Query_cache.Rows _ | Query_cache.Groups _ -> assert false)
+      ~encode:(fun n -> Query_cache.Count n)
+      (fun () -> fst (count_stats ~where table))
 
 let join_stats ?(where_left = Predicate.True) ?(where_right = Predicate.True)
     ~on left right =
@@ -265,7 +360,18 @@ let group_count_stats ~by ?(where = Predicate.True) table =
       in
       (sorted, plan_of_access access, List.length cands, List.length sorted))
 
-let group_count ~by ?where table = fst (group_count_stats ~by ?where table)
+let group_count ~by ?(where = Predicate.True) table =
+  if not !cache_enabled then fst (group_count_stats ~by ~where table)
+  else
+    with_cache
+      ~key:(cache_key ~op:"group_count" ~aux:by ~order_by:[] ~limit:None table where)
+      ~table
+      ~decode:(fun payload ->
+        match payload with
+        | Query_cache.Groups groups -> groups
+        | Query_cache.Rows _ | Query_cache.Count _ -> assert false)
+      ~encode:(fun groups -> Query_cache.Groups groups)
+      (fun () -> fst (group_count_stats ~by ~where table))
 
 (* --- profiling (EXPLAIN ANALYZE) ------------------------------------ *)
 

@@ -50,7 +50,15 @@ val select :
   Table.t ->
   (int * Row.t) list
 (** Rows satisfying [where] (default all), ordered by [order_by] (default
-    row id), truncated to [limit]. *)
+    row id), truncated to [limit].
+
+    Served from the epoch-validated result cache when possible (see
+    {!set_cache_enabled}): a repeat of a query against an unmodified
+    table returns the stored result without touching the heap, and is
+    observationally identical to a cold run.  Predicates containing
+    [Predicate.Custom] always run cold.  Cached rows alias the rows a
+    cold run would have returned — treat them as read-only, exactly as
+    rows fetched from the table itself. *)
 
 val select_stats :
   ?where:Predicate.t ->
@@ -158,3 +166,30 @@ val set_query_span_threshold_ns : int -> unit
 (** Adjust the slow-query span threshold (default 100 µs): queries at
     least this slow record a trace span; all queries still feed the
     counters and latency histogram.  [0] traces every query. *)
+
+(** {2 Result cache}
+
+    The plain {!select}, {!count} and {!group_count} entry points
+    consult a process-wide bounded LRU keyed by (table uid, operation,
+    predicate, order, limit) and validated against {!Table.epoch}: any
+    mutation of the table invalidates its cached results on the next
+    lookup.  The [*_stats] and [*_profiled] variants never consult the
+    cache — their callers asked to observe the execution.  Hits,
+    misses, evictions and invalidations tick the
+    [prov.query.cache.*] metrics. *)
+
+val set_cache_enabled : bool -> unit
+(** Default enabled.  Disabling does not clear stored entries (they are
+    epoch-checked on any later lookup anyway); use {!clear_cache} to
+    also drop them. *)
+
+val set_cache_capacity : int -> unit
+(** Default 512 entries; shrinking evicts immediately; [0] caches
+    nothing. *)
+
+val cache_capacity : unit -> int
+
+val cache_length : unit -> int
+(** Entries currently stored. *)
+
+val clear_cache : unit -> unit

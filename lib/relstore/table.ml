@@ -3,17 +3,35 @@ type t = {
   rows : (int, Row.t) Hashtbl.t;
   mutable next_id : int;
   mutable indexes : Index.t list;
+  uid : int;
+  mutable epoch : int;
 }
 
-let create schema = { schema; rows = Hashtbl.create 64; next_id = 1; indexes = [] }
+(* Process-unique table identity, so caches keyed by table survive a
+   table being garbage-collected and another allocated at the same
+   address: a uid is never reused. *)
+let next_uid = ref 0
+
+let create schema =
+  incr next_uid;
+  { schema; rows = Hashtbl.create 64; next_id = 1; indexes = []; uid = !next_uid; epoch = 0 }
 
 let schema t = t.schema
 let name t = Schema.name t.schema
 let row_count t = Hashtbl.length t.rows
+let uid t = t.uid
+let epoch t = t.epoch
+let bump t = t.epoch <- t.epoch + 1
 
 let insert t row =
   Schema.validate_row t.schema row;
   let rowid = t.next_id in
+  (* A live row at next_id means the id counter is corrupt (e.g. a
+     doctored serialized image): overwriting would silently destroy
+     data, so refuse. *)
+  if Hashtbl.mem t.rows rowid then
+    Errors.corrupt "table %s: fresh rowid %d already occupied (corrupt next_id)"
+      (name t) rowid;
   (* Check unique indexes before mutating anything so a violation leaves
      the table untouched. *)
   List.iter
@@ -28,6 +46,7 @@ let insert t row =
   Hashtbl.replace t.rows rowid row;
   List.iter (fun idx -> Index.add idx rowid row) t.indexes;
   t.next_id <- rowid + 1;
+  bump t;
   rowid
 
 let insert_fields t fields = insert t (Row.of_alist t.schema fields)
@@ -57,7 +76,8 @@ let update t rowid row =
     t.indexes;
   List.iter (fun idx -> Index.remove idx rowid old_row) t.indexes;
   Hashtbl.replace t.rows rowid row;
-  List.iter (fun idx -> Index.add idx rowid row) t.indexes
+  List.iter (fun idx -> Index.add idx rowid row) t.indexes;
+  bump t
 
 let update_field t rowid column v =
   let row = get t rowid in
@@ -66,7 +86,8 @@ let update_field t rowid column v =
 let delete t rowid =
   let row = get t rowid in
   List.iter (fun idx -> Index.remove idx rowid row) t.indexes;
-  Hashtbl.remove t.rows rowid
+  Hashtbl.remove t.rows rowid;
+  bump t
 
 let iter t f = Hashtbl.iter f t.rows
 
@@ -82,7 +103,10 @@ let add_index ?unique t ~name:iname ~columns =
     invalid_arg ("Table.add_index: duplicate index " ^ iname);
   let idx = Index.create ?unique ~name:iname ~columns t.schema in
   iter t (fun rowid row -> Index.add idx rowid row);
-  t.indexes <- t.indexes @ [ idx ]
+  t.indexes <- t.indexes @ [ idx ];
+  (* A new index changes the plans (and thus the scan counts) cached
+     results were computed under. *)
+  bump t
 
 let index t iname = List.find (fun idx -> Index.name idx = iname) t.indexes
 let indexes t = t.indexes
@@ -91,6 +115,12 @@ let find_index_on t columns =
   List.find_opt (fun idx -> Index.column_names idx = columns) t.indexes
 
 let find_by t ~columns key =
+  (* Checked up front so the indexed and scan paths agree: the indexed
+     path used to return [] on a short key while the scan path raised a
+     bare Invalid_argument from List.for_all2. *)
+  if List.length columns <> List.length key then
+    Errors.arity_mismatch "table %s: find_by got %d columns but %d key values"
+      (name t) (List.length columns) (List.length key);
   match find_index_on t columns with
   | Some idx ->
     List.map (fun rowid -> (rowid, get t rowid)) (Index.find idx key)
@@ -128,13 +158,21 @@ let deserialize s pos =
   let next_id = Varint.read_unsigned s pos in
   let n = Codec.read_count s pos in
   let t = create schema in
+  let max_rowid = ref 0 in
   for _ = 1 to n do
     let rowid = Varint.read_unsigned s pos in
     let row = Codec.read_row s pos in
     Schema.validate_row schema row;
-    Hashtbl.replace t.rows rowid row
+    if Hashtbl.mem t.rows rowid then
+      Errors.corrupt "table %s: duplicate rowid %d" (Schema.name schema) rowid;
+    Hashtbl.replace t.rows rowid row;
+    if rowid > !max_rowid then max_rowid := rowid
   done;
-  t.next_id <- next_id;
+  (* Never trust the stored counter below the loaded rows: a corrupt or
+     hand-edited image would otherwise make later inserts land on live
+     rowids.  Values above max+1 are kept — deletes legitimately leave
+     the counter past the surviving rows. *)
+  t.next_id <- max next_id (!max_rowid + 1);
   let nidx = Codec.read_count s pos in
   for _ = 1 to nidx do
     let iname = Codec.read_string s pos in

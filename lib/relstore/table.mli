@@ -9,9 +9,20 @@ val schema : t -> Schema.t
 val name : t -> string
 val row_count : t -> int
 
+val uid : t -> int
+(** Process-unique table identity (never reused), for keying caches. *)
+
+val epoch : t -> int
+(** Modification epoch: bumped by every {!insert}, {!update},
+    {!delete} and {!add_index}.  A cached query result tagged with the
+    epoch it was computed at is valid exactly while the epoch is
+    unchanged. *)
+
 val insert : t -> Row.t -> int
 (** Validates against the schema, assigns a fresh row id, updates all
-    indexes, returns the row id. *)
+    indexes, returns the row id.  Raises {!Errors.Corrupt} if the fresh
+    row id is already occupied (a corrupt id counter — see
+    {!deserialize}). *)
 
 val insert_fields : t -> (string * Value.t) list -> int
 (** {!Row.of_alist} followed by {!insert}. *)
@@ -53,14 +64,19 @@ val find_index_on : t -> string list -> Index.t option
 
 val find_by : t -> columns:string list -> Value.t list -> (int * Row.t) list
 (** Equality lookup.  Uses an index when one covers [columns] exactly;
-    otherwise falls back to a scan. *)
+    otherwise falls back to a scan.  Raises {!Errors.Arity_mismatch}
+    when the key's length differs from [columns] — on both paths. *)
 
 val find_one_by : t -> columns:string list -> Value.t list -> (int * Row.t) option
 
 (** {2 Persistence and size accounting} *)
 
 val serialize : Buffer.t -> t -> unit
+
 val deserialize : string -> int ref -> t
+(** Raises {!Errors.Corrupt} on duplicate rowids; a stored id counter
+    at or below the maximum loaded rowid is clamped to [max_rowid + 1]
+    so corrupt images cannot make {!insert} overwrite live rows. *)
 
 val data_size : t -> int
 (** Exact encoded byte size of {!serialize}'s output: schema, rows and

@@ -17,6 +17,7 @@ let () =
       ("relstore.codec_properties", Test_codec_properties.suite);
       ("relstore.table", Test_relstore_table.suite);
       ("relstore.query", Test_relstore_query.suite);
+      ("relstore.query_cache", Test_query_cache.suite);
       ("relstore.model", Test_relstore_model.suite);
       ("relstore.sql", Test_relstore_sql.suite);
       ("relstore.query_plan", Test_query_plan.suite);

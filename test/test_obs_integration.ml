@@ -159,7 +159,7 @@ let test_wal_counters_ground_truth () =
   let rec_ops0 = count Names.wal_recovered_ops in
   let rec_segs0 = count Names.wal_recovered_segments in
   let truncated0 = count Names.wal_recoveries_truncated in
-  let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 2048 } dir in
+  let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 2048 } dir in
   let store = Store.create () in
   Seg.attach handle store;
   let rng = Test_seed.prng ~salt:81 in
@@ -205,7 +205,7 @@ let test_wal_truncation_counter () =
   with_enabled @@ fun () ->
   with_temp_dir @@ fun dir ->
   let truncated0 = M.counter_value Names.wal_recoveries_truncated in
-  let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 1_000_000 } dir in
+  let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 1_000_000 } dir in
   let store = Store.create () in
   Seg.attach handle store;
   let rng = Test_seed.prng ~salt:82 in

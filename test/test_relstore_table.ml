@@ -221,6 +221,81 @@ let test_table_serialize_roundtrip () =
   Alcotest.(check int) "index rebuilt" 1
     (List.length (R.Table.find_by t' ~columns:[ "age" ] [ R.Value.Int 40 ]))
 
+(* Regression: find_by used to answer a column/key arity mismatch with
+   [] on the indexed path and a bare Invalid_argument (from List.map2
+   inside the scan) on the unindexed one.  Both paths must now raise the
+   typed arity error. *)
+let test_find_by_arity_mismatch () =
+  let t = R.Table.create (people_schema ()) in
+  R.Table.add_index t ~name:"by_age" ~columns:[ "age" ];
+  let _ = R.Table.insert_fields t (person "a" 1) in
+  let expect_arity path f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s path: expected Arity_mismatch" path
+    with R.Errors.Arity_mismatch _ -> ()
+  in
+  expect_arity "indexed" (fun () ->
+      R.Table.find_by t ~columns:[ "age" ] [ R.Value.Int 1; R.Value.Int 2 ]);
+  expect_arity "scan" (fun () ->
+      R.Table.find_by t ~columns:[ "name"; "age" ] [ R.Value.Text "a" ]);
+  (* Matching arity still answers on both paths. *)
+  Alcotest.(check int) "indexed path still works" 1
+    (List.length (R.Table.find_by t ~columns:[ "age" ] [ R.Value.Int 1 ]));
+  Alcotest.(check int) "scan path still works" 1
+    (List.length (R.Table.find_by t ~columns:[ "name" ] [ R.Value.Text "a" ]))
+
+(* Regression: deserialize used to trust the stored next_id verbatim, so
+   a corrupt (too small) counter made later inserts collide with live
+   rowids.  The counter is clamped to max rowid + 1 on load. *)
+let test_deserialize_clamps_corrupt_next_id () =
+  let t = R.Table.create (people_schema ()) in
+  let id1 = R.Table.insert_fields t (person "ann" 30) in
+  let _ = R.Table.insert_fields t (person "bob" 40) in
+  let id3 = R.Table.insert_fields t (person "carol" 50) in
+  let buf = Buffer.create 256 in
+  R.Table.serialize buf t;
+  let image = Bytes.of_string (Buffer.contents buf) in
+  (* next_id is the varint immediately after the schema; with three rows
+     it is a single byte, which we smash down to claim "1". *)
+  let schema_len =
+    let sbuf = Buffer.create 64 in
+    R.Schema.serialize sbuf (R.Table.schema t);
+    Buffer.length sbuf
+  in
+  Alcotest.(check int) "stored counter is where we think it is" (id3 + 1)
+    (Char.code (Bytes.get image schema_len));
+  Bytes.set image schema_len '\001';
+  let pos = ref 0 in
+  let t' = R.Table.deserialize (Bytes.to_string image) pos in
+  Alcotest.(check int) "rows all load" 3 (R.Table.row_count t');
+  let fresh = R.Table.insert_fields t' (person "dave" 60) in
+  Alcotest.(check int) "clamped counter skips live rowids" (id3 + 1) fresh;
+  Alcotest.(check int) "no row was overwritten" 4 (R.Table.row_count t');
+  Alcotest.(check string) "first row survives the insert" "ann"
+    (R.Row.text (R.Table.schema t') (R.Table.get t' id1) "name")
+
+(* A duplicate rowid in the image is unrecoverable and must be refused,
+   not silently last-writer-wins. *)
+let test_deserialize_rejects_duplicate_rowid () =
+  let t = R.Table.create (people_schema ()) in
+  let id1 = R.Table.insert_fields t (person "ann" 30) in
+  let buf = Buffer.create 256 in
+  R.Schema.serialize buf (R.Table.schema t);
+  R.Varint.write_unsigned buf (id1 + 1);
+  R.Varint.write_unsigned buf 2;
+  (* two rows, same rowid *)
+  let row = R.Table.get t id1 in
+  R.Varint.write_unsigned buf id1;
+  R.Codec.write_row buf row;
+  R.Varint.write_unsigned buf id1;
+  R.Codec.write_row buf row;
+  R.Varint.write_unsigned buf 0 (* no indexes *);
+  try
+    ignore (R.Table.deserialize (Buffer.contents buf) (ref 0));
+    Alcotest.fail "duplicate rowid must be rejected"
+  with R.Errors.Corrupt _ -> ()
+
 let test_size_accounting_consistency () =
   let t = R.Table.create (people_schema ()) in
   let empty_data = R.Table.data_size t in
@@ -251,5 +326,10 @@ let suite =
     Alcotest.test_case "unique insert atomic" `Quick test_table_unique_insert_rejected_atomically;
     Alcotest.test_case "find without index" `Quick test_table_find_without_index_scans;
     Alcotest.test_case "table serialize roundtrip" `Quick test_table_serialize_roundtrip;
+    Alcotest.test_case "find_by arity mismatch" `Quick test_find_by_arity_mismatch;
+    Alcotest.test_case "deserialize clamps corrupt next_id" `Quick
+      test_deserialize_clamps_corrupt_next_id;
+    Alcotest.test_case "deserialize rejects duplicate rowid" `Quick
+      test_deserialize_rejects_duplicate_rowid;
     Alcotest.test_case "size accounting" `Quick test_size_accounting_consistency;
   ]

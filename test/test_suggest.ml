@@ -81,6 +81,32 @@ let test_awesomebar_limit () =
   Alcotest.(check bool) "limit respected" true
     (List.length (AB.suggest ~limit:2 bar "example") <= 2)
 
+(* Regression: the bar's place snapshot was built once and never
+   revalidated, so anything visited after [build] was invisible until a
+   manual [refresh].  The snapshot is now validated against the
+   moz_places epoch on every [suggest]. *)
+let test_awesomebar_snapshot_never_stale () =
+  let web, engine, _api, ambiguity, _a, _b, _ctx = ambiguous_history () in
+  let places = Engine.places engine in
+  let bar = AB.build places in
+  (* Warm the snapshot, then visit a page the store has never seen. *)
+  ignore (AB.suggest bar ambiguity.Web.term);
+  let fresh =
+    Array.to_list (Web.pages web)
+    |> List.find (fun (p : Webmodel.Page_content.t) ->
+           Browser.Places_db.place_by_url places
+             (Webmodel.Url.to_string p.Webmodel.Page_content.url)
+           = None)
+  in
+  let fresh_url = Webmodel.Url.to_string fresh.Webmodel.Page_content.url in
+  Alcotest.(check (list unit)) "unknown page suggests nothing" []
+    (List.map (fun _ -> ()) (AB.suggest bar fresh_url));
+  let tab = Engine.open_tab engine ~time:9000 () in
+  ignore (Engine.visit_typed engine ~time:9010 ~tab fresh.Webmodel.Page_content.id);
+  (* No AB.refresh here: suggest itself must notice the epoch moved. *)
+  Alcotest.(check bool) "new visit is suggested without a manual refresh" true
+    (List.exists (fun s -> s.AB.url = fresh_url) (AB.suggest bar fresh_url))
+
 (* --- provenance suggestions --- *)
 
 let test_suggest_without_context_follows_popularity () =
@@ -137,6 +163,8 @@ let suite =
     Alcotest.test_case "awesomebar empty/nonsense" `Quick test_awesomebar_empty_and_nonsense;
     Alcotest.test_case "awesomebar adaptive" `Quick test_awesomebar_adaptive_learning;
     Alcotest.test_case "awesomebar limit" `Quick test_awesomebar_limit;
+    Alcotest.test_case "awesomebar snapshot never stale" `Quick
+      test_awesomebar_snapshot_never_stale;
     Alcotest.test_case "suggest baseline popularity" `Quick test_suggest_without_context_follows_popularity;
     Alcotest.test_case "suggest context flips sense" `Quick test_suggest_with_context_flips_the_sense;
     Alcotest.test_case "suggest hides embeds" `Quick test_suggest_hidden_pages_excluded;

@@ -63,7 +63,7 @@ let check_parity ~msg live recovered =
 let test_segmented_roundtrip () =
   with_temp_dir (fun dir ->
       let rng = Test_seed.prng ~salt:10 in
-      let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 2048 } dir in
+      let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 2048 } dir in
       let store = Store.create () in
       Seg.attach handle store;
       drive store rng 120;
@@ -81,7 +81,7 @@ let test_compaction () =
      the real capture pipeline — there the derived set equals the live
      set.  The synthetic [drive] workload would not round trip. *)
   with_temp_dir (fun dir ->
-      let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 1024 } dir in
+      let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 1024 } dir in
       let capture, feed = Core.Capture.observer () in
       let store = Core.Capture.store capture in
       Seg.attach handle store;
@@ -109,7 +109,7 @@ let test_compaction () =
 let test_crash_fault_on_active_segment () =
   with_temp_dir (fun dir ->
       let rng = Test_seed.prng ~salt:12 in
-      let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 1024 } dir in
+      let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 1024 } dir in
       let store = Store.create () in
       Seg.attach handle store;
       drive store rng 100;
@@ -128,7 +128,7 @@ let test_crash_fault_on_active_segment () =
 let test_flip_fault_detected () =
   with_temp_dir (fun dir ->
       let rng = Test_seed.prng ~salt:13 in
-      let handle = Seg.open_ ~config:{ Seg.max_segment_bytes = 1024 } dir in
+      let handle = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 1024 } dir in
       let store = Store.create () in
       Seg.attach handle store;
       drive store rng 100;
@@ -145,7 +145,7 @@ let test_flip_fault_detected () =
 let test_no_append_after_torn_tail () =
   with_temp_dir (fun dir ->
       let rng = Test_seed.prng ~salt:14 in
-      let h1 = Seg.open_ ~config:{ Seg.max_segment_bytes = 512 } dir in
+      let h1 = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 512 } dir in
       let store = Store.create () in
       Seg.attach h1 store;
       drive store rng 60;
@@ -154,7 +154,7 @@ let test_no_append_after_torn_tail () =
       let after_crash = Seg.recover ~dir in
       (* Reopen and append more: the new ops must land in a fresh
          segment, never after the torn frame. *)
-      let h2 = Seg.open_ ~config:{ Seg.max_segment_bytes = 512 } dir in
+      let h2 = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 512 } dir in
       let store2 = Store.create () in
       Seg.attach h2 store2;
       drive store2 (Prng.create 99) 10;
@@ -274,6 +274,138 @@ let test_crash_point_sweep () =
         incident_delta expected_incidents
   done
 
+(* ---- group commit ------------------------------------------------- *)
+
+(* A deterministic op list for the group-commit tests: recorded once
+   through the journaling store, then replayed into WAL handles by hand
+   so the tests control exactly when each append happens. *)
+let make_ops ~salt rounds =
+  let store, journal = PL.recording_store () in
+  drive store (Test_seed.prng ~salt) rounds;
+  PL.ops journal
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let with_metrics_on f =
+  let was = Provkit_obs.Metrics.enabled () in
+  Provkit_obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Provkit_obs.Metrics.set_enabled was) f
+
+(* One fsync per [group_commit_ops] appends, counted against the obs
+   counter (the acceptance criterion's ground truth), plus the explicit
+   [durable] barrier for the tail. *)
+let test_group_commit_fsync_count () =
+  with_temp_dir (fun dir ->
+      with_metrics_on (fun () ->
+          let ops = take 20 (make_ops ~salt:21 30) in
+          Alcotest.(check int) "test needs exactly 20 ops" 20 (List.length ops);
+          let config =
+            {
+              Seg.max_segment_bytes = 1 lsl 20;
+              (* never rotate *)
+              Seg.group_commit_ops = 8;
+              Seg.group_commit_bytes = 1 lsl 20;
+            }
+          in
+          let h = Seg.open_ ~config dir in
+          let fsyncs () = Provkit_obs.Metrics.counter_value Provkit_obs.Names.wal_fsyncs in
+          let c0 = fsyncs () in
+          List.iter (Seg.append h) ops;
+          Alcotest.(check int) "20 appends at G=8 cost 2 fsyncs" 2 (fsyncs () - c0);
+          Alcotest.(check int) "the tail of the third batch is pending" 4 (Seg.pending h);
+          Seg.durable h;
+          Alcotest.(check int) "durable flushes the pending tail" 0 (Seg.pending h);
+          Alcotest.(check int) "durable cost exactly one more fsync" 3 (fsyncs () - c0);
+          Alcotest.(check (float 1e-9)) "fsyncs-per-append gauge is batch/append truth"
+            (3.0 /. 20.0)
+            (Provkit_obs.Metrics.gauge_value Provkit_obs.Names.wal_fsyncs_per_append);
+          Seg.durable h;
+          Alcotest.(check int) "durable with nothing pending is free" 3 (fsyncs () - c0);
+          Seg.close h;
+          let r = Seg.recover ~dir in
+          Alcotest.(check bool) "clean recovery" false r.Seg.truncated;
+          Alcotest.(check int) "every op recovered" 20 r.Seg.ops_applied))
+
+(* Crash (no close, no flush): what's on disk is exactly the flushed
+   batches — recovery loses the undurable tail of at most one batch and
+   nothing else, and the surviving image is frame-clean (no incident). *)
+let test_group_commit_crash_loses_only_pending_tail () =
+  with_temp_dir (fun dir ->
+      let ops = take 20 (make_ops ~salt:22 30) in
+      let config =
+        {
+          Seg.max_segment_bytes = 1 lsl 20;
+          Seg.group_commit_ops = 8;
+          Seg.group_commit_bytes = 1 lsl 20;
+        }
+      in
+      let h = Seg.open_ ~config dir in
+      List.iter (Seg.append h) ops;
+      Alcotest.(check int) "4 ops are undurable" 4 (Seg.pending h);
+      (* No close: the pending tail never reaches the file, exactly a
+         machine-off crash under Faulty_io's buffering model. *)
+      let r = Seg.recover ~dir in
+      Alcotest.(check int) "recovery = appends minus the pending tail" 16 r.Seg.ops_applied;
+      Alcotest.(check bool) "flushed image is frame-clean" false r.Seg.truncated;
+      (* After the barrier the same crash loses nothing. *)
+      Seg.durable h;
+      let r2 = Seg.recover ~dir in
+      Alcotest.(check int) "durable makes the whole log survive" 20 r2.Seg.ops_applied;
+      Seg.close h)
+
+(* A batch torn mid-frame by the crash: recovery keeps a frame-aligned
+   prefix of the batch and files exactly one flight incident for the
+   truncated segment. *)
+let test_group_commit_torn_batch () =
+  with_temp_dir (fun dir ->
+      with_metrics_on (fun () ->
+          let ops = take 20 (make_ops ~salt:23 30) in
+          let config =
+            {
+              Seg.max_segment_bytes = 1 lsl 20;
+              Seg.group_commit_ops = 64;
+              Seg.group_commit_bytes = 1 lsl 20;
+            }
+          in
+          let h = Seg.open_ ~config dir in
+          Seg.append_batch h ops;
+          Alcotest.(check int) "whole batch pending below the trigger" 20 (Seg.pending h);
+          (* Tear the batch's single sink write a few bytes in, then
+             crash-close: only a mid-frame fragment reaches the disk. *)
+          F.arm (Seg.active_sink h) [ F.Torn_final_write 3 ];
+          Seg.close h;
+          let incidents_before = Provkit_obs.Flight.recorded () in
+          let r = Seg.recover ~dir in
+          Alcotest.(check bool) "torn batch reports truncation" true r.Seg.truncated;
+          Alcotest.(check bool) "a strict prefix of the batch survives" true
+            (r.Seg.ops_applied < 20);
+          Alcotest.(check int) "exactly one incident for the truncated load" 1
+            (Provkit_obs.Flight.recorded () - incidents_before)))
+
+(* append_batch at the default (per-append durability) config still
+   costs exactly one fsync for the whole batch: the trigger fires once,
+   after the single sink write. *)
+let test_append_batch_default_config () =
+  with_temp_dir (fun dir ->
+      with_metrics_on (fun () ->
+          let ops = take 20 (make_ops ~salt:24 30) in
+          let h = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 1 lsl 20 } dir in
+          let fsyncs () = Provkit_obs.Metrics.counter_value Provkit_obs.Names.wal_fsyncs in
+          let c0 = fsyncs () in
+          Seg.append_batch h ops;
+          Alcotest.(check int) "one fsync for the whole batch" 1 (fsyncs () - c0);
+          Alcotest.(check int) "nothing left pending" 0 (Seg.pending h);
+          Seg.append_batch h [];
+          Alcotest.(check int) "empty batch is free" 1 (fsyncs () - c0);
+          Seg.close h;
+          let r = Seg.recover ~dir in
+          Alcotest.(check bool) "clean recovery" false r.Seg.truncated;
+          Alcotest.(check int) "batch recovers op-for-op" 20 r.Seg.ops_applied;
+          (* Parity with the per-append path: same ops, same store. *)
+          let store = Store.create () in
+          List.iter (PL.apply_op store) ops;
+          check_parity ~msg:"batch ingest" store r.Seg.store))
+
 let suite =
   [
     Alcotest.test_case "segmented roundtrip" `Quick test_segmented_roundtrip;
@@ -285,4 +417,9 @@ let suite =
     Alcotest.test_case "v1 journal compatibility" `Quick test_v1_journal_still_loads;
     Alcotest.test_case "v1 event trace compatibility" `Quick test_v1_event_trace_still_loads;
     Alcotest.test_case "crash-point sweep (every byte offset)" `Slow test_crash_point_sweep;
+    Alcotest.test_case "group commit: fsync counting" `Quick test_group_commit_fsync_count;
+    Alcotest.test_case "group commit: crash loses only pending tail" `Quick
+      test_group_commit_crash_loses_only_pending_tail;
+    Alcotest.test_case "group commit: torn batch" `Quick test_group_commit_torn_batch;
+    Alcotest.test_case "append_batch at default config" `Quick test_append_batch_default_config;
   ]

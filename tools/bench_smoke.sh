@@ -21,6 +21,21 @@ grep -q '"schema": "provkit-bench/1"' "$work/base.json" ||
 grep -q '"ns_per_op":' "$work/base.json" ||
   { echo "bench_smoke: artifact has no ns_per_op rows"; exit 1; }
 
+# The hot-path pairs (read cache, WAL group commit) must be present,
+# and each "after" side must beat its "before" side by at least 5x.
+for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched; do
+  grep -q "\"name\":\"$row\"" "$work/base.json" ||
+    { echo "bench_smoke: artifact missing hot-path row $row"; exit 1; }
+done
+check_speedup() {
+  before="$(grep "\"name\":\"$1\"" "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+  after="$(grep "\"name\":\"$2\"" "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+  awk -v b="$before" -v a="$after" 'BEGIN { exit !(a > 0 && b >= 5 * a) }' ||
+    { echo "bench_smoke: $2 ($after ns) is not >= 5x faster than $1 ($before ns)"; exit 1; }
+}
+check_speedup hot-select-cold hot-select-cached
+check_speedup wal-ingest-unbatched wal-ingest-batched
+
 bash "$here/bench_compare.sh" "$work/base.json" "$work/base.json" > /dev/null ||
   { echo "bench_smoke: self-comparison unexpectedly flagged a regression"; exit 1; }
 
