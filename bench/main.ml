@@ -306,6 +306,68 @@ let run_hot_paths measured =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.7: matview rows — incremental update vs cold rescan           *)
+(* ------------------------------------------------------------------ *)
+
+(* The matview acceptance pair: ns per event folded through the warm
+   Places views (the real ingest path: table apply + all five view
+   folds) against ns per cold recomputation of the same five queries
+   over the final tables.  bench_smoke.sh gates the incremental side at
+   >= 5x faster — the point of maintaining the views at all. *)
+let measure_matview () =
+  let n_events = if quick then 512 else 2_048 in
+  let urls =
+    Array.init 40 (fun i ->
+        Webmodel.Url.make
+          ~path:[ Printf.sprintf "p%d" (i mod 5) ]
+          (Printf.sprintf "site%d.example" (i / 5)))
+  in
+  let mk i =
+    Browser.Event.Visit
+      {
+        visit_id = i;
+        time = i * 400;
+        tab = 1;
+        page = None;
+        url = urls.(i mod Array.length urls);
+        title = "bench";
+        transition = (if i mod 11 = 0 then Browser.Transition.Typed else Browser.Transition.Link);
+        referrer = (if i > 1 && i mod 3 <> 0 then Some (i - 1) else None);
+        via_bookmark = None;
+      }
+  in
+  let places = Browser.Places_db.create () in
+  let mv = Browser.Places_views.create places in
+  Browser.Places_views.ingest_batch mv (List.init n_events (fun i -> mk (i + 1)));
+  let rescan_iters = if quick then 20 else 100 in
+  let rescan_ns =
+    time_per_op rescan_iters 1 (fun () ->
+        ignore (Browser.Places_views.cold_frecency_top ~top_n:10 places);
+        ignore (Browser.Places_views.cold_host_visits places);
+        ignore (Browser.Places_views.cold_download_referrers places);
+        ignore (Browser.Places_views.cold_recent_visits ~now:(Browser.Places_views.now mv) places);
+        ignore (Browser.Places_views.cold_place_visits places))
+  in
+  let next_id = ref (n_events + 1) in
+  let batch = 256 in
+  let upd_iters = if quick then 8 else 24 in
+  let update_ns =
+    time_per_op upd_iters batch (fun () ->
+        for _ = 1 to batch do
+          Browser.Places_views.ingest mv (mk !next_id);
+          incr next_id
+        done)
+  in
+  Relstore.Query_exec.clear_matview_sources ();
+  [ ("matview-update", upd_iters * batch, update_ns); ("cold-rescan", rescan_iters, rescan_ns) ]
+
+let run_matview measured =
+  print_endline "== matview (incremental update vs cold rescan; ns/op) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "path"; "ns/op" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.0f" ns ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: experiment tables                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -338,7 +400,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~hot ~overhead =
+let write_artifact ~micro ~hot ~matview ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -356,7 +418,7 @@ let write_artifact ~micro ~hot ~overhead =
        (Core.Prov_store.node_count (Harness.Dataset.store ds))
        (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
   Buffer.add_string buf "  \"rows\": [\n";
-  let all_rows = List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot in
+  let all_rows = List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview in
   List.iteri
     (fun i (name, iters, ns) ->
       Buffer.add_string buf
@@ -396,7 +458,9 @@ let () =
   run_micro micro;
   let hot = measure_hot_paths () in
   run_hot_paths hot;
+  let matview = measure_matview () in
+  run_matview matview;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~hot ~overhead
+  if json_mode then write_artifact ~micro ~hot ~matview ~overhead
   else run_experiments ()

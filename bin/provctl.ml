@@ -13,6 +13,7 @@
      tree         the Ayers-Stasko navigation forest
      sql          ad-hoc SQL over any saved database
      wal          segmented write-ahead journal + crash/corruption injection
+     matview      incremental materialized views: status, values, refresh
      experiments  regenerate every paper experiment table *)
 
 open Cmdliner
@@ -178,7 +179,7 @@ let workload_snapshot ?(group_commit = 1) ?(cache_capacity = 512) days seed =
         List.iter feed events;
         Core.Prov_log.Segmented.compact handle store;
         Core.Prov_log.Segmented.close handle;
-        ignore (Core.Prov_log.Segmented.recover ~dir);
+        ignore (Core.Prov_log.Segmented.recover ~dir ());
         store)
   in
   Provkit_obs.Trace.with_span "workload.query" (fun () ->
@@ -657,7 +658,7 @@ let wal days seed dir max_segment_bytes compact_every fault_spec group_commit =
     dir
     (Core.Prov_log.Segmented.generation handle)
     (List.length (Core.Prov_log.Segmented.segments handle));
-  let r = Core.Prov_log.Segmented.recover ~dir in
+  let r = Core.Prov_log.Segmented.recover ~dir () in
   let rs = r.Core.Prov_log.Segmented.store in
   Printf.printf "recovery: %d tail ops over %d segments%s\n"
     r.Core.Prov_log.Segmented.ops_applied r.Core.Prov_log.Segmented.segments_read
@@ -713,6 +714,107 @@ let wal_cmd =
       const wal $ days_arg $ seed_arg $ dir_arg $ max_segment_arg $ compact_every_arg
       $ fault_arg $ group_commit_arg)
 
+(* --- matview --------------------------------------------------------- *)
+
+(* Build the five Places matviews over an event stream (a recorded one
+   via --events, otherwise a fresh simulation) and report on them.
+   Actions: list (registry status), status (status + current values),
+   refresh (force a rebuild first — the counters show it). *)
+
+let matview action days seed events_path top json =
+  let events =
+    match events_path with
+    | Some path -> Browser.Event_codec.load ~path
+    | None ->
+      let ds =
+        Harness.Dataset.build
+          ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+          ~seed ()
+      in
+      Browser.Engine.event_log ds.Harness.Dataset.engine
+  in
+  let places = Browser.Places_db.create () in
+  let mv = Browser.Places_views.create ~top_n:top places in
+  Browser.Places_views.ingest_batch mv events;
+  if action = `Refresh then Browser.Places_views.refresh mv;
+  let status = Browser.Places_views.status mv in
+  let first, revisits = Browser.Places_views.revisit_stats mv in
+  if json then begin
+    List.iter
+      (fun s ->
+        Printf.printf
+          "{\"view\":\"%s\",\"folded\":%d,\"updates\":%d,\"refreshes\":%d,\"staleness\":%d}\n"
+          (Provkit_obs.Metrics.json_escape s.Relstore.Matview.st_name)
+          s.Relstore.Matview.st_folded s.Relstore.Matview.st_updates
+          s.Relstore.Matview.st_refreshes s.Relstore.Matview.st_staleness)
+      status;
+    Printf.printf
+      "{\"events\":%d,\"recent_visits_7d\":%d,\"first_visits\":%d,\"revisits\":%d}\n"
+      (Browser.Places_views.events_ingested mv)
+      (Browser.Places_views.recent_visits mv)
+      first revisits
+  end
+  else begin
+    Printf.printf "%d events folded into %d views\n\n"
+      (Browser.Places_views.events_ingested mv)
+      (List.length status);
+    Printf.printf "%-24s %8s %8s %9s %9s\n" "view" "folded" "updates" "refreshes" "staleness";
+    List.iter
+      (fun s ->
+        Printf.printf "%-24s %8d %8d %9d %9d\n" s.Relstore.Matview.st_name
+          s.Relstore.Matview.st_folded s.Relstore.Matview.st_updates
+          s.Relstore.Matview.st_refreshes s.Relstore.Matview.st_staleness)
+      status;
+    if action <> `List then begin
+      Printf.printf "\nawesomebar frecency (top %d):\n" top;
+      List.iter
+        (fun (id, url, f) -> Printf.printf "  %6.1f  #%-4d %s\n" f id url)
+        (Browser.Places_views.frecency_top mv);
+      Printf.printf "\nvisits per host:\n";
+      List.iteri
+        (fun i (host, n) -> if i < top then Printf.printf "  %6d  %s\n" n host)
+        (Browser.Places_views.host_visits mv);
+      Printf.printf "\ndownloads per referrer host:\n";
+      List.iter
+        (fun (host, n) -> Printf.printf "  %6d  %s\n" n host)
+        (Browser.Places_views.download_referrers mv);
+      Printf.printf "\nvisits in the last 7 days: %d\n"
+        (Browser.Places_views.recent_visits mv);
+      Printf.printf "revisit detection (bloom): %d first visits, %d revisits\n" first
+        revisits
+    end
+  end
+
+let matview_action_arg =
+  let actions = [ ("list", `List); ("status", `Status); ("refresh", `Refresh) ] in
+  Arg.(
+    value
+    & pos 0 (enum actions) `Status
+    & info [] ~docv:"ACTION" ~doc:"One of: list, status, refresh.")
+
+let matview_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:"Fold a recorded event stream (generate --events-out) instead of simulating.")
+
+let matview_top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows kept by the frecency view.")
+
+let matview_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit view status as JSON, one object per line.")
+
+let matview_cmd =
+  Cmd.v
+    (Cmd.info "matview"
+       ~doc:
+         "Incremental materialized views over the capture stream: list them, show their \
+          values, or force a refresh")
+    Term.(
+      const matview $ matview_action_arg $ days_arg $ seed_arg $ matview_events_arg
+      $ matview_top_arg $ matview_json_arg)
+
 (* --- experiments ----------------------------------------------------- *)
 
 let experiments seed quick =
@@ -765,7 +867,7 @@ let () =
       [
         generate_cmd; replay_cmd; stats_cmd; profile_cmd; search_cmd; time_search_cmd;
         lineage_cmd; tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
-        experiments_cmd; lint_cmd;
+        matview_cmd; experiments_cmd; lint_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

@@ -83,3 +83,15 @@ val record_input_choice : t -> place_id:int -> input:string -> unit
 val recompute_frecency : t -> int -> unit
 (** Recompute one place's frecency from its recent visits (simplified
     Places algorithm: type-weighted, recency-bucketed sample). *)
+
+(** The pieces of that algorithm, exposed so incremental views
+    ([Places_views]) can reproduce the stored values bit-for-bit. *)
+
+val type_weight : Transition.t -> float
+
+val recency_weight : now:int -> visit_date:int -> float
+
+val firefox_keeps_referrer : Transition.t -> bool
+(** Whether Firefox records [from_visit] for this transition — the
+    renderer-performed ones keep the causal chain, explicit user
+    navigation (typed, bookmark) drops it (§3.2). *)

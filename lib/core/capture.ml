@@ -74,6 +74,11 @@ type t = {
   pending_spawn : (int, int) Hashtbl.t;  (* fresh tab -> opener's engine visit *)
   open_order : (int, int) Hashtbl.t;  (* engine visit -> open sequence no. *)
   mutable open_seq : int;
+  (* Matview registries fed after each event's store mutations, so
+     incremental views stay in lockstep with the capture stream no
+     matter which entry point (engine subscription, [handle_batch],
+     WAL replay through an observer) delivered it. *)
+  mutable views : Event.t Relstore.Matview.t list;
 }
 
 (* Is this visit the page a tab displays (as opposed to a background
@@ -173,8 +178,7 @@ let handle_visit t (v : Event.visit) =
     Time_index.add t.time_index ~node ~opened:v.Event.time
   end
 
-let handle t event =
-  count_event event;
+let handle_event t event =
   let cfg = t.config in
   match (event : Event.t) with
   | Event.Visit v -> handle_visit t v
@@ -264,6 +268,11 @@ let handle t event =
       | None -> ()
     end
 
+let handle t event =
+  count_event event;
+  handle_event t event;
+  List.iter (fun registry -> Relstore.Matview.feed registry event) t.views
+
 (* Batch ingest: feed a recorded stream in one call.  The mutations
    still flow through the store observer one by one (ordering and
    per-event semantics are untouched); when the observer is a
@@ -282,7 +291,10 @@ let make config =
     pending_spawn = Hashtbl.create 16;
     open_order = Hashtbl.create 4096;
     open_seq = 0;
+    views = [];
   }
+
+let attach_views t registries = t.views <- t.views @ registries
 
 let attach ?(config = full) engine =
   let t = make config in

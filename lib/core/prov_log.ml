@@ -240,6 +240,26 @@ let apply_op store op =
     | None -> ()
   end
 
+(* A canonical op stream equivalent to a store's current contents:
+   every node (close time already baked in) in id order, then every
+   edge.  Replaying it into an empty store reproduces the source, and
+   refolding it into matview registries leaves them snapshot-consistent
+   with the store — the WAL recovery path hands exactly this stream to
+   [Segmented.recover]'s [?views]. *)
+let ops_of_store store =
+  let g = Prov_store.graph store in
+  let nodes =
+    List.map
+      (fun id -> Add_node (Prov_store.node store id))
+      (List.sort Int.compare (Provgraph.Digraph.nodes g))
+  in
+  let edges =
+    List.rev
+      (Provgraph.Digraph.fold_edges g ~init:[] ~f:(fun acc src dst edge ->
+           Add_edge { src; dst; edge } :: acc))
+  in
+  nodes @ edges
+
 let recording_store () =
   let store = Prov_store.create () in
   let journal = create () in
@@ -559,7 +579,7 @@ module Segmented = struct
     let pos = ref lm in
     Prov_schema.of_database (Relstore.Database.of_bytes (C.read_frame s pos))
 
-  let recover ~dir =
+  let recover ?views ~dir () =
     Obs.Trace.with_span Obs.Names.span_wal_recover ~attrs:[ ("dir", dir) ] (fun () ->
     let manifest = read_manifest dir in
     let store =
@@ -612,5 +632,11 @@ module Segmented = struct
             ("segments_read", string_of_int !segments_read);
           ]
     end;
+    (* Views rebuild from the recovered store itself, not the raw
+       segment bytes, so they are snapshot-consistent with the tables
+       even when replay stopped at a torn frame. *)
+    (match views with
+    | None -> ()
+    | Some registry -> Relstore.Matview.rebuild registry (ops_of_store store));
     { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated })
 end

@@ -87,6 +87,13 @@ val recording_store : unit -> Prov_store.t * t
 val replay : t -> Prov_store.t
 (** Rebuild a store by applying the journal in order. *)
 
+val ops_of_store : Prov_store.t -> op list
+(** A canonical op stream equivalent to the store's current contents:
+    every node (close time baked in) in id order, then every edge.
+    Replaying it into an empty store reproduces the source; refolding
+    it into a matview registry leaves the views snapshot-consistent
+    with the store. *)
+
 val save : t -> path:string -> unit
 val load : path:string -> t
 
@@ -190,9 +197,12 @@ module Segmented : sig
     truncated : bool;  (** recovery stopped at an unverifiable frame *)
   }
 
-  val recover : dir:string -> recovery
+  val recover : ?views:op Relstore.Matview.t -> dir:string -> unit -> recovery
   (** Rebuild a store from the manifest: load the snapshot (if any),
       then replay segments in order, stopping at the first frame that
       fails verification — the recovered store is always an op-sequence
-      prefix of what was logged. *)
+      prefix of what was logged.  When [views] is given, the registry
+      is rebuilt from {!ops_of_store} of the recovered store, so its
+      views come back snapshot-consistent with the tables even after a
+      torn tail. *)
 end

@@ -1,0 +1,91 @@
+module R = Relstore
+
+(* Incremental views over the provenance op stream itself — the
+   [Prov_log.op] instantiation of the matview machinery.  They mirror
+   what [Query_exec.group_count ~by:"kind"] reports over the relational
+   export ([Prov_schema.to_database]), so the differential contract is
+   checked against the store's own query path:
+
+   - node kinds: one row per node, last [Add_node] wins per id (a
+     re-add replaces the payload, exactly like [Digraph.add_node]);
+   - edge kinds: every [Add_edge] counts (the graph keeps multi-edges),
+     except [Same_time] and [Instance], which the relational export
+     deliberately does not persist. *)
+
+let rank (ka, na) (kb, nb) =
+  let c = Int.compare nb na in
+  if c <> 0 then c else Int.compare ka kb
+
+let counts_of tbl =
+  List.sort rank (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+type node_kind_state = (int, int) Hashtbl.t (* node id -> kind code *)
+
+let node_kind_fold (st : node_kind_state) (op : Prov_log.op) =
+  (match op with
+  | Prov_log.Add_node n ->
+    Hashtbl.replace st n.Prov_node.id (Prov_node.kind_code n.Prov_node.kind)
+  | Prov_log.Add_edge _ | Prov_log.Close_node _ -> ());
+  st
+
+let node_kind_finalize (st : node_kind_state) =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ code ->
+      Hashtbl.replace counts code (1 + Option.value ~default:0 (Hashtbl.find_opt counts code)))
+    st;
+  counts_of counts
+
+let node_kind_counts : (Prov_log.op, node_kind_state, (int * int) list) R.Matview.spec =
+  {
+    R.Matview.name = "node_kind_counts";
+    init = (fun () -> Hashtbl.create 1024);
+    fold = node_kind_fold;
+    finalize = node_kind_finalize;
+  }
+
+let persisted_edge kind =
+  kind <> Prov_edge.Same_time && kind <> Prov_edge.Instance
+
+type edge_kind_state = (int, int) Hashtbl.t (* kind code -> count *)
+
+let edge_kind_fold (st : edge_kind_state) (op : Prov_log.op) =
+  (match op with
+  | Prov_log.Add_edge { edge; src = _; dst = _ } ->
+    if persisted_edge edge.Prov_edge.kind then begin
+      let code = Prov_edge.kind_code edge.Prov_edge.kind in
+      Hashtbl.replace st code (1 + Option.value ~default:0 (Hashtbl.find_opt st code))
+    end
+  | Prov_log.Add_node _ | Prov_log.Close_node _ -> ());
+  st
+
+let edge_kind_counts : (Prov_log.op, edge_kind_state, (int * int) list) R.Matview.spec =
+  {
+    R.Matview.name = "edge_kind_counts";
+    init = (fun () -> Hashtbl.create 16);
+    fold = edge_kind_fold;
+    finalize = (fun st -> counts_of st);
+  }
+
+let standard () =
+  let registry = R.Matview.create () in
+  let nodes = R.Matview.register registry node_kind_counts in
+  let edges = R.Matview.register registry edge_kind_counts in
+  (registry, nodes, edges)
+
+(* --- cold baselines over the relational export ---------------------- *)
+
+let int_of_value = function
+  | R.Value.Int n -> n
+  | R.Value.Null | R.Value.Real _ | R.Value.Text _ | R.Value.Blob _ | R.Value.Bool _ -> 0
+
+let cold_group_kinds table =
+  (* group_count orders by count desc then Value.compare — for Int keys
+     that is exactly [rank]'s order, so no re-sort is needed. *)
+  List.map (fun (k, n) -> (int_of_value k, n)) (R.Query_exec.group_count ~by:"kind" table)
+
+let cold_node_kinds store =
+  cold_group_kinds (R.Database.table (Prov_schema.to_database store) Prov_schema.node_table)
+
+let cold_edge_kinds store =
+  cold_group_kinds (R.Database.table (Prov_schema.to_database store) Prov_schema.edge_table)

@@ -64,6 +64,14 @@ let trace_dropped = "prov.trace.spans.dropped"
 
 let flight_incidents = "prov.flight.incidents.total"
 
+(* --- materialized views --- *)
+
+let matview_updates = "prov.matview.updates.total"
+let matview_refreshes = "prov.matview.refreshes.total"
+let matview_staleness = "prov.matview.staleness.events"
+let matview_update_ns = "prov.matview.update.ns"
+let matview_serves = "prov.matview.serves.total"
+
 let all =
   [
     browser_events;
@@ -103,6 +111,11 @@ let all =
     trace_spans;
     trace_dropped;
     flight_incidents;
+    matview_updates;
+    matview_refreshes;
+    matview_staleness;
+    matview_update_ns;
+    matview_serves;
   ]
 
 let registered name = List.mem name all

@@ -97,6 +97,22 @@ val trace_dropped : string
 val flight_incidents : string
 (** Incidents captured by the flight recorder. *)
 
+val matview_updates : string
+(** Per-view incremental folds applied by a matview registry. *)
+
+val matview_refreshes : string
+(** Full view rebuilds (WAL replay or an explicit refresh). *)
+
+val matview_staleness : string
+(** Gauge: events seen by a registry minus the laggiest view's folds. *)
+
+val matview_update_ns : string
+(** Histogram of per-view incremental update latency in nanoseconds. *)
+
+val matview_serves : string
+(** Queries answered from a registered matview source instead of a
+    table scan or the LRU cache. *)
+
 val all : string list
 (** Every registered metric name, in declaration order (span names are
     not metrics and are not listed). *)

@@ -224,6 +224,55 @@ let with_cache ~key ~table ~decode ~encode cold =
       miss ()
     | Query_cache.Absent -> miss ())
 
+(* --- matview sources ------------------------------------------------ *)
+
+(* A registered materialized view can answer a whole query shape
+   without touching the table or the LRU cache.  Sources are keyed by
+   (table uid, op, aux) and only match the trivial shape — no residual
+   predicate, no ordering, no limit — anything else falls through cold.
+   Freshness is the source's own problem: [mv_fresh] typically compares
+   a stamped [Table.epoch] against the current one, so a direct table
+   mutation that bypassed the view's feed path disqualifies it. *)
+
+let m_matview_serves = Obs.Metrics.counter Obs.Names.matview_serves
+
+type matview_source = {
+  mv_table : int;
+  mv_op : string;
+  mv_aux : string;
+  mv_fresh : unit -> bool;
+  mv_payload : unit -> Query_cache.payload;
+}
+
+let matview_sources : matview_source list ref = ref []
+
+let register_matview_source ~table ~op ~aux ~fresh ~payload =
+  let uid = Table.uid table in
+  matview_sources :=
+    { mv_table = uid; mv_op = op; mv_aux = aux; mv_fresh = fresh; mv_payload = payload }
+    :: List.filter
+         (fun s ->
+           not (s.mv_table = uid && String.equal s.mv_op op && String.equal s.mv_aux aux))
+         !matview_sources
+
+let clear_matview_sources () = matview_sources := []
+let matview_source_count () = List.length !matview_sources
+
+let matview_lookup ~op ~aux table where ~order_by ~limit =
+  match (where, order_by, limit, !matview_sources) with
+  | Predicate.True, [], None, (_ :: _ as sources) ->
+    let uid = Table.uid table in
+    (match
+       List.find_opt
+         (fun s -> s.mv_table = uid && String.equal s.mv_op op && String.equal s.mv_aux aux)
+         sources
+     with
+    | Some s when s.mv_fresh () ->
+      Obs.Metrics.incr m_matview_serves;
+      Some (s.mv_payload ())
+    | Some _ | None -> None)
+  | _ -> None
+
 (* --- execution ------------------------------------------------------ *)
 
 let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
@@ -280,6 +329,10 @@ let count_stats ?(where = Predicate.True) table =
       (n, plan_of_access access, List.length cands, 1))
 
 let count ?(where = Predicate.True) table =
+  match matview_lookup ~op:"count" ~aux:"" table where ~order_by:[] ~limit:None with
+  | Some (Query_cache.Count n) -> n
+  | Some (Query_cache.Rows _ | Query_cache.Groups _) -> assert false
+  | None ->
   if not !cache_enabled then fst (count_stats ~where table)
   else
     with_cache
@@ -361,6 +414,10 @@ let group_count_stats ~by ?(where = Predicate.True) table =
       (sorted, plan_of_access access, List.length cands, List.length sorted))
 
 let group_count ~by ?(where = Predicate.True) table =
+  match matview_lookup ~op:"group_count" ~aux:by table where ~order_by:[] ~limit:None with
+  | Some (Query_cache.Groups groups) -> groups
+  | Some (Query_cache.Rows _ | Query_cache.Count _) -> assert false
+  | None ->
   if not !cache_enabled then fst (group_count_stats ~by ~where table)
   else
     with_cache

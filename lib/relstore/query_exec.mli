@@ -193,3 +193,30 @@ val cache_length : unit -> int
 (** Entries currently stored. *)
 
 val clear_cache : unit -> unit
+
+(** {2 Materialized-view sources}
+
+    A registered matview source answers a whole query shape — currently
+    [count] (op ["count"], aux [""]) and [group_count ~by] (op
+    ["group_count"], aux [by]) — straight from incrementally maintained
+    state, before the LRU cache is even consulted.  Only the trivial
+    shape matches (predicate {!Predicate.True}, no ordering, no limit);
+    anything else, and any source whose [fresh] check fails, falls
+    through to the normal cold path.  Serves tick
+    [prov.matview.serves.total]. *)
+
+val register_matview_source :
+  table:Table.t ->
+  op:string ->
+  aux:string ->
+  fresh:(unit -> bool) ->
+  payload:(unit -> Query_cache.payload) ->
+  unit
+(** Registering again for the same (table, op, aux) replaces the
+    previous source.  [fresh] should compare a stamped {!Table.epoch}
+    against the current one so direct table mutations that bypassed the
+    view's feed path disqualify it. *)
+
+val clear_matview_sources : unit -> unit
+
+val matview_source_count : unit -> int

@@ -19,6 +19,7 @@ let () =
       ("relstore.query", Test_relstore_query.suite);
       ("relstore.query_cache", Test_query_cache.suite);
       ("relstore.model", Test_relstore_model.suite);
+      ("relstore.matview", Test_matview.suite);
       ("relstore.sql", Test_relstore_sql.suite);
       ("relstore.query_plan", Test_query_plan.suite);
       ("relstore.profile", Test_profile.suite);

@@ -189,7 +189,7 @@ let test_wal_counters_ground_truth () =
   Alcotest.(check bool) "bytes counter accounts for the files on disk" true
     (count Names.wal_bytes_written - bytes0 >= on_disk - 512
     && count Names.wal_bytes_written - bytes0 > 0);
-  let r = Seg.recover ~dir in
+  let r = Seg.recover ~dir () in
   Alcotest.(check int) "one recovery" 1 (count Names.wal_recoveries - recoveries0);
   Alcotest.(check int) "recovered-op counter = recover's own report"
     r.Seg.ops_applied
@@ -213,7 +213,7 @@ let test_wal_truncation_counter () =
   Provkit_util.Faulty_io.arm (Seg.active_sink handle)
     [ Provkit_util.Faulty_io.Torn_final_write 3 ];
   Seg.close handle;
-  let r = Seg.recover ~dir in
+  let r = Seg.recover ~dir () in
   Alcotest.(check bool) "the tear truncated recovery" true r.Seg.truncated;
   Alcotest.(check int) "truncated recovery counted" 1
     (M.counter_value Names.wal_recoveries_truncated - truncated0)

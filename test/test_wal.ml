@@ -70,7 +70,7 @@ let test_segmented_roundtrip () =
       Seg.close handle;
       Alcotest.(check bool) "rotation produced several segments" true
         (List.length (Seg.segments handle) > 2);
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check bool) "clean shutdown recovers untruncated" false r.Seg.truncated;
       Alcotest.(check int) "every appended op replays" (Seg.appended handle) r.Seg.ops_applied;
       check_parity ~msg:"clean recovery" store r.Seg.store)
@@ -100,7 +100,7 @@ let test_compaction () =
           end)
         events;
       Seg.close handle;
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check bool) "recovery after compaction is clean" false r.Seg.truncated;
       check_parity ~msg:"snapshot + tail" store r.Seg.store;
       Alcotest.(check bool) "tail is only the post-compaction ops" true
@@ -117,7 +117,7 @@ let test_crash_fault_on_active_segment () =
       (* Lose most of the active segment, as if the machine died. *)
       F.arm (Seg.active_sink handle) [ F.Crash_after_bytes 20 ];
       Seg.close handle;
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check bool) "crash recovery reports truncation" true r.Seg.truncated;
       Alcotest.(check bool) "a strict prefix of the ops survives" true
         (r.Seg.ops_applied < Seg.appended handle);
@@ -137,7 +137,7 @@ let test_flip_fault_detected () =
          the checksum must catch it even though nothing is truncated. *)
       F.arm (Seg.active_sink handle) [ F.Flip_byte 12 ];
       Seg.close handle;
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check bool) "flipped byte ends the readable prefix" true r.Seg.truncated;
       Alcotest.(check bool) "ops stop before the damaged frame" true
         (r.Seg.ops_applied < Seg.appended handle))
@@ -151,7 +151,7 @@ let test_no_append_after_torn_tail () =
       drive store rng 60;
       F.arm (Seg.active_sink h1) [ F.Torn_final_write 3 ];
       Seg.close h1;
-      let after_crash = Seg.recover ~dir in
+      let after_crash = Seg.recover ~dir () in
       (* Reopen and append more: the new ops must land in a fresh
          segment, never after the torn frame. *)
       let h2 = Seg.open_ ~config:{ Seg.default_config with Seg.max_segment_bytes = 512 } dir in
@@ -159,7 +159,7 @@ let test_no_append_after_torn_tail () =
       Seg.attach h2 store2;
       drive store2 (Prng.create 99) 10;
       Seg.close h2;
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       (* The torn segment still ends recovery where it did: the global
        prefix invariant holds even with younger healthy segments. *)
       Alcotest.(check int) "torn frame still bounds recovery"
@@ -170,7 +170,7 @@ let test_recover_missing_dir_and_empty () =
   with_temp_dir (fun dir ->
       let handle = Seg.open_ dir in
       Seg.close handle;
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check int) "empty WAL recovers an empty store" 0
         (Store.node_count r.Seg.store);
       Alcotest.(check bool) "empty WAL is clean" false r.Seg.truncated)
@@ -322,7 +322,7 @@ let test_group_commit_fsync_count () =
           Seg.durable h;
           Alcotest.(check int) "durable with nothing pending is free" 3 (fsyncs () - c0);
           Seg.close h;
-          let r = Seg.recover ~dir in
+          let r = Seg.recover ~dir () in
           Alcotest.(check bool) "clean recovery" false r.Seg.truncated;
           Alcotest.(check int) "every op recovered" 20 r.Seg.ops_applied))
 
@@ -344,12 +344,12 @@ let test_group_commit_crash_loses_only_pending_tail () =
       Alcotest.(check int) "4 ops are undurable" 4 (Seg.pending h);
       (* No close: the pending tail never reaches the file, exactly a
          machine-off crash under Faulty_io's buffering model. *)
-      let r = Seg.recover ~dir in
+      let r = Seg.recover ~dir () in
       Alcotest.(check int) "recovery = appends minus the pending tail" 16 r.Seg.ops_applied;
       Alcotest.(check bool) "flushed image is frame-clean" false r.Seg.truncated;
       (* After the barrier the same crash loses nothing. *)
       Seg.durable h;
-      let r2 = Seg.recover ~dir in
+      let r2 = Seg.recover ~dir () in
       Alcotest.(check int) "durable makes the whole log survive" 20 r2.Seg.ops_applied;
       Seg.close h)
 
@@ -375,7 +375,7 @@ let test_group_commit_torn_batch () =
           F.arm (Seg.active_sink h) [ F.Torn_final_write 3 ];
           Seg.close h;
           let incidents_before = Provkit_obs.Flight.recorded () in
-          let r = Seg.recover ~dir in
+          let r = Seg.recover ~dir () in
           Alcotest.(check bool) "torn batch reports truncation" true r.Seg.truncated;
           Alcotest.(check bool) "a strict prefix of the batch survives" true
             (r.Seg.ops_applied < 20);
@@ -398,7 +398,7 @@ let test_append_batch_default_config () =
           Seg.append_batch h [];
           Alcotest.(check int) "empty batch is free" 1 (fsyncs () - c0);
           Seg.close h;
-          let r = Seg.recover ~dir in
+          let r = Seg.recover ~dir () in
           Alcotest.(check bool) "clean recovery" false r.Seg.truncated;
           Alcotest.(check int) "batch recovers op-for-op" 20 r.Seg.ops_applied;
           (* Parity with the per-append path: same ops, same store. *)

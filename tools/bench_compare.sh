@@ -33,7 +33,7 @@ trap 'rm -f "${TMPDIR:-/tmp}/bench_base.$$" "${TMPDIR:-/tmp}/bench_cand.$$"' EXI
 awk -v thr="$threshold" '
   NR == FNR { base[$1] = $2; next }
   {
-    name = $1; cand = $2
+    name = $1; cand = $2; seen[name] = 1
     if (!(name in base)) { printf "NEW       %-40s %12.1f ns/op\n", name, cand; next }
     b = base[name]
     if (b + 0 == 0 || cand + 0 == 0) { printf "SKIP      %-40s (zero sample)\n", name; next }
@@ -44,7 +44,12 @@ awk -v thr="$threshold" '
     printf "%-9s %-40s %12.1f -> %12.1f ns/op  %+6.1f%%\n", tag, name, b, cand, delta
   }
   END {
-    if (bad > 0) { printf "\nbench_compare: %d benchmark(s) regressed more than %s%%\n", bad, thr; exit 1 }
+    # A row present in the baseline but absent from the candidate is a
+    # silently dropped benchmark — fail, do not skip: a gate that stops
+    # being measured is indistinguishable from one that regressed.
+    for (name in base)
+      if (!(name in seen)) { printf "MISSING   %-40s (in baseline, absent from candidate)\n", name; bad++ }
+    if (bad > 0) { printf "\nbench_compare: %d benchmark(s) regressed or went missing (threshold %s%%)\n", bad, thr; exit 1 }
     print "\nbench_compare: no regressions beyond " thr "%"
   }
 ' "${TMPDIR:-/tmp}/bench_base.$$" "${TMPDIR:-/tmp}/bench_cand.$$"

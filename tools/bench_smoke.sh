@@ -21,11 +21,13 @@ grep -q '"schema": "provkit-bench/1"' "$work/base.json" ||
 grep -q '"ns_per_op":' "$work/base.json" ||
   { echo "bench_smoke: artifact has no ns_per_op rows"; exit 1; }
 
-# The hot-path pairs (read cache, WAL group commit) must be present,
-# and each "after" side must beat its "before" side by at least 5x.
-for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched; do
+# The hot-path pairs (read cache, WAL group commit) and the matview
+# pair (incremental update vs cold rescan) must be present, and each
+# "after" side must beat its "before" side by at least 5x.
+for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched \
+           matview-update cold-rescan; do
   grep -q "\"name\":\"$row\"" "$work/base.json" ||
-    { echo "bench_smoke: artifact missing hot-path row $row"; exit 1; }
+    { echo "bench_smoke: artifact missing expected row $row"; exit 1; }
 done
 check_speedup() {
   before="$(grep "\"name\":\"$1\"" "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
@@ -35,6 +37,7 @@ check_speedup() {
 }
 check_speedup hot-select-cold hot-select-cached
 check_speedup wal-ingest-unbatched wal-ingest-batched
+check_speedup cold-rescan matview-update
 
 bash "$here/bench_compare.sh" "$work/base.json" "$work/base.json" > /dev/null ||
   { echo "bench_smoke: self-comparison unexpectedly flagged a regression"; exit 1; }
@@ -53,4 +56,12 @@ if bash "$here/bench_compare.sh" "$work/base.json" "$work/slow.json" > /dev/null
   exit 1
 fi
 
-echo "bench_smoke: artifact valid, comparator gates regressions"
+# Drop one expected row from the candidate: the comparator must fail on
+# the missing benchmark, not silently compare the remainder.
+grep -v '"name":"matview-update"' "$work/base.json" > "$work/missing.json"
+if bash "$here/bench_compare.sh" "$work/base.json" "$work/missing.json" > /dev/null; then
+  echo "bench_smoke: comparator missed a dropped benchmark row"
+  exit 1
+fi
+
+echo "bench_smoke: artifact valid, comparator gates regressions and dropped rows"
