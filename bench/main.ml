@@ -368,6 +368,86 @@ let run_matview measured =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.8: statistics catalog — analyze cost and estimate accuracy    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two concerns, three rows.  "stats-analyze" is the cost of a full
+   ANALYZE pass over the dataset's biggest table, in honest ns/op.  The
+   "estimate-error-*" pair reuses the ns_per_op field to carry a
+   dimensionless max error ratio (>= 1.0, estimated vs actual rows,
+   worse direction) over a fixed skewed workload — heuristic planner
+   vs statistics-guided — so bench_smoke.sh can assert the catalog
+   actually buys accuracy, and bench_compare.sh flags an estimator
+   regression like any latency row. *)
+let measure_stats () =
+  let ds = Lazy.force dataset in
+  let db = Core.Prov_schema.to_database (Harness.Dataset.store ds) in
+  let nodes = Relstore.Database.table db "prov_node" in
+  let analyze_iters = if quick then 5 else 20 in
+  let analyze_ns =
+    time_per_op analyze_iters 1 (fun () -> ignore (Relstore.Stats.analyze nodes))
+  in
+  Relstore.Stats.invalidate nodes;
+  (* The skewed workload: an indexed Zipf column the histogram captures,
+     a uniform non-indexed column the heuristic has no answer for. *)
+  let rng = Provkit_util.Prng.create (seed + 8) in
+  let z = Provkit_util.Zipf.create ~n:200 ~s:1.1 in
+  let t =
+    Relstore.Table.create
+      (Relstore.Schema.make ~name:"bench_zipf"
+         [
+           Relstore.Column.make "rank" Relstore.Value.Tint;
+           Relstore.Column.make "shard" Relstore.Value.Tint;
+         ])
+  in
+  Relstore.Table.add_index t ~name:"by_rank" ~columns:[ "rank" ];
+  for _ = 1 to 4_000 do
+    ignore
+      (Relstore.Table.insert_fields t
+         [
+           ("rank", Relstore.Value.Int (Provkit_util.Zipf.sample z rng));
+           ("shard", Relstore.Value.Int (Provkit_util.Prng.int rng 16));
+         ])
+  done;
+  let queries =
+    Relstore.Predicate.
+      [
+        Eq ("rank", Relstore.Value.Int 0);
+        Eq ("shard", Relstore.Value.Int 3);
+        And [ Eq ("rank", Relstore.Value.Int 0); Eq ("shard", Relstore.Value.Int 3) ];
+        Between ("rank", Relstore.Value.Int 0, Relstore.Value.Int 5);
+      ]
+  in
+  let actual p =
+    let schema = Relstore.Table.schema t in
+    List.length
+      (List.filter (fun (_, row) -> Relstore.Predicate.eval p schema row) (Relstore.Table.rows t))
+  in
+  let worst detail_of =
+    List.fold_left
+      (fun acc p ->
+        let est = float_of_int (detail_of t p).Relstore.Query_exec.estimated_rows in
+        let act = float_of_int (max 1 (actual p)) in
+        Float.max acc (Float.max (Float.max 1.0 est /. act) (act /. Float.max 1.0 est)))
+      1.0 queries
+  in
+  let heuristic_worst = worst Relstore.Query_exec.plan_detail_heuristic in
+  ignore (Relstore.Stats.analyze t);
+  let stats_worst = worst Relstore.Query_exec.plan_detail in
+  Relstore.Stats.invalidate t;
+  [
+    ("stats-analyze", analyze_iters, analyze_ns);
+    ("estimate-error-heuristic", List.length queries, heuristic_worst);
+    ("estimate-error-stats", List.length queries, stats_worst);
+  ]
+
+let run_stats measured =
+  print_endline "== statistics catalog (analyze ns/op; estimate max error ratio) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "row"; "value" ]
+    (List.map (fun (name, _, v) -> [ name; Printf.sprintf "%.1f" v ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: experiment tables                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,7 +480,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~hot ~matview ~overhead =
+let write_artifact ~micro ~hot ~matview ~stats ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -418,7 +498,9 @@ let write_artifact ~micro ~hot ~matview ~overhead =
        (Core.Prov_store.node_count (Harness.Dataset.store ds))
        (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
   Buffer.add_string buf "  \"rows\": [\n";
-  let all_rows = List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview in
+  let all_rows =
+    List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview @ stats
+  in
   List.iteri
     (fun i (name, iters, ns) ->
       Buffer.add_string buf
@@ -460,7 +542,9 @@ let () =
   run_hot_paths hot;
   let matview = measure_matview () in
   run_matview matview;
+  let stats = measure_stats () in
+  run_stats stats;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~hot ~matview ~overhead
+  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~overhead
   else run_experiments ()

@@ -215,7 +215,7 @@ let workload_snapshot ?(group_commit = 1) ?(cache_capacity = 512) days seed =
       done);
   Provkit_obs.Metrics.snapshot ()
 
-let stats db json trace_out days seed group_commit cache_capacity =
+let stats db json prom trace_out days seed group_commit cache_capacity =
   (match db with
   | Some path ->
     let store = load_store path in
@@ -223,7 +223,8 @@ let stats db json trace_out days seed group_commit cache_capacity =
     Printf.printf "causal graph acyclic: %b\n" (Core.Versioning.is_acyclic store)
   | None ->
     let snap = workload_snapshot ~group_commit ~cache_capacity days seed in
-    if json then print_endline (Provkit_obs.Metrics.to_json snap)
+    if prom then print_string (Provkit_obs.Timeseries.prometheus snap)
+    else if json then print_endline (Provkit_obs.Metrics.to_json snap)
     else begin
       print_string (Provkit_obs.Metrics.render snap);
       Printf.printf "\nheadline: %s\n" (Provkit_obs.Metrics.headline snap)
@@ -266,6 +267,12 @@ let cache_capacity_arg =
     & info [ "cache-capacity" ] ~docv:"N"
         ~doc:"Query result cache capacity in entries (0 caches nothing).")
 
+let prom_flag =
+  Arg.(
+    value & flag
+    & info [ "prom" ]
+        ~doc:"Emit the snapshot in Prometheus text exposition format instead.")
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
@@ -273,8 +280,198 @@ let stats_cmd =
          "Metrics snapshot of an instrumented ingest+query run (with --db: statistics of \
           a saved provenance database)")
     Term.(
-      const stats $ db_opt_arg $ json_flag $ trace_out_arg $ days_arg $ seed_arg
-      $ group_commit_arg $ cache_capacity_arg)
+      const stats $ db_opt_arg $ json_flag $ prom_flag $ trace_out_arg $ days_arg
+      $ seed_arg $ group_commit_arg $ cache_capacity_arg)
+
+(* --- analyze: the statistics catalog --------------------------------- *)
+
+(* Simulate + ingest only — no WAL, no query mix — for the commands
+   that need a populated relational database rather than a metrics
+   story. *)
+let build_database days seed =
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+  let capture, feed = Core.Capture.observer () in
+  List.iter feed events;
+  Core.Prov_schema.to_database (Core.Capture.store capture)
+
+let analyze db days seed sample buckets json =
+  Provkit_obs.Metrics.set_enabled true;
+  let database =
+    match db with
+    | Some path -> Core.Prov_schema.to_database (load_store path)
+    | None -> build_database days seed
+  in
+  let all = Relstore.Stats.analyze_database ?sample ~buckets database in
+  List.iter
+    (fun ts ->
+      if json then print_endline (Relstore.Stats.to_json ts)
+      else begin
+        print_string (Relstore.Stats.render ts);
+        print_newline ()
+      end)
+    all
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample" ] ~docv:"N"
+        ~doc:"Examine at most N rows per table (deterministic sample; default: all).")
+
+let buckets_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "buckets" ] ~docv:"B" ~doc:"Equi-depth histogram buckets per indexed column.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Collect per-table/per-column statistics (row counts, null fractions, min/max, \
+          HyperLogLog distinct counts, equi-depth histograms) into the planner's catalog \
+          and print them")
+    Term.(const analyze $ db_opt_arg $ days_arg $ seed_arg $ sample_arg $ buckets_arg
+          $ json_flag)
+
+(* --- slowlog --------------------------------------------------------- *)
+
+let slowlog load threshold_ns days seed json out =
+  (match load with
+  | Some path ->
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    let entries = Relstore.Slowlog.load_jsonl content in
+    if json then
+      List.iter (fun e -> print_endline (Relstore.Slowlog.to_json e)) entries
+    else print_string (Relstore.Slowlog.render entries)
+  | None ->
+    Relstore.Slowlog.set_threshold_ns threshold_ns;
+    ignore (workload_snapshot days seed);
+    let entries = Relstore.Slowlog.entries () in
+    if json then
+      List.iter (fun e -> print_endline (Relstore.Slowlog.to_json e)) entries
+    else print_string (Relstore.Slowlog.render entries));
+  match out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 1024 in
+    Relstore.Slowlog.dump_jsonl buf;
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.eprintf "slowlog -> %s\n" path
+
+let slowlog_load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Render a previously dumped JSONL slow-query log instead of running the \
+              workload.")
+
+let slowlog_threshold_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "threshold-ns" ] ~docv:"NS"
+        ~doc:"Slow-query threshold in nanoseconds (0 logs every query).")
+
+let slowlog_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Also dump the log as JSONL here.")
+
+let slowlog_cmd =
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "Run the instrumented workload with a slow-query threshold and print the \
+          deduplicated slow-query log (worst first)")
+    Term.(
+      const slowlog $ slowlog_load_arg $ slowlog_threshold_arg $ days_arg $ seed_arg
+      $ json_flag $ slowlog_out_arg)
+
+(* --- top: live telemetry --------------------------------------------- *)
+
+(* A one-shot process has no daemon to scrape, so [top] drives its own
+   load: the simulated event stream is ingested in chunks, each chunk
+   records a time-series point, and every refresh prints the
+   delta/rate table between the two newest points. *)
+let top days seed refreshes no_clear =
+  Provkit_obs.Metrics.set_enabled true;
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+  let capture, feed = Core.Capture.observer () in
+  let store = Core.Capture.store capture in
+  let total = List.length events in
+  let refreshes = max 1 refreshes in
+  let chunk = max 1 ((total + refreshes - 1) / refreshes) in
+  let ring = Provkit_obs.Timeseries.default in
+  ignore (Provkit_obs.Timeseries.record ring);
+  let rec take n = function
+    | [] -> ([], [])
+    | x :: rest when n > 0 ->
+      let batch, remaining = take (n - 1) rest in
+      (x :: batch, remaining)
+    | rest -> ([], rest)
+  in
+  let rec go i fed remaining =
+    match remaining with
+    | [] -> ()
+    | _ ->
+      let batch, rest = take chunk remaining in
+      List.iter feed batch;
+      (* A couple of queries per refresh so the query counters move on
+         screen, not just the ingest ones. *)
+      let db = Core.Prov_schema.to_database store in
+      ignore (Relstore.Sql.query db "SELECT COUNT(*) FROM prov_node");
+      ignore (Relstore.Sql.query db "SELECT kind, COUNT(*) FROM prov_node GROUP BY kind");
+      ignore (Provkit_obs.Timeseries.record ring);
+      let fed = fed + List.length batch in
+      (match Provkit_obs.Timeseries.last_deltas ring with
+      | None -> ()
+      | Some rows ->
+        if not no_clear then print_string "\027[2J\027[H";
+        Printf.printf "provctl top — refresh %d/%d, %d/%d events ingested\n\n" i refreshes
+          fed total;
+        let live =
+          List.filter (fun r -> r.Provkit_obs.Timeseries.s_cur > 0.0) rows
+        in
+        print_string (Provkit_obs.Timeseries.render live);
+        flush stdout);
+      go (i + 1) fed rest
+  in
+  go 1 0 events
+
+let refreshes_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "refreshes" ] ~docv:"N" ~doc:"Number of screen refreshes over the run.")
+
+let no_clear_flag =
+  Arg.(
+    value & flag
+    & info [ "no-clear" ]
+        ~doc:"Do not clear the terminal between refreshes (append instead).")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live telemetry: ingest the simulated event stream in chunks and refresh a \
+          per-metric value/delta/rate display after each chunk")
+    Term.(const top $ days_arg $ seed_arg $ refreshes_arg $ no_clear_flag)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -865,9 +1062,10 @@ let () =
   let group =
     Cmd.group info
       [
-        generate_cmd; replay_cmd; stats_cmd; profile_cmd; search_cmd; time_search_cmd;
-        lineage_cmd; tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd;
-        matview_cmd; experiments_cmd; lint_cmd;
+        generate_cmd; replay_cmd; stats_cmd; analyze_cmd; slowlog_cmd; top_cmd;
+        profile_cmd; search_cmd; time_search_cmd; lineage_cmd; tree_cmd; sql_cmd;
+        suggest_cmd; sessions_cmd; expire_cmd; wal_cmd; matview_cmd; experiments_cmd;
+        lint_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

@@ -25,7 +25,11 @@ let count_event event =
     | Event.Bookmark_added _ -> m_bookmark
     | Event.Search _ -> m_search
     | Event.Download_started _ -> m_download
-    | Event.Form_submitted _ -> m_form)
+    | Event.Form_submitted _ -> m_form);
+  (* Each ingested event advances the telemetry clock: every
+     pulse_interval-th event snapshots the registry into the default
+     time-series ring. *)
+  Obs.Timeseries.pulse ()
 
 type config = {
   record_typed_edges : bool;

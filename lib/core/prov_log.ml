@@ -505,6 +505,7 @@ module Segmented = struct
     h.pending_bytes <- h.pending_bytes + Buffer.length frame;
     Obs.Metrics.incr m_appends;
     Obs.Metrics.add m_bytes (Buffer.length frame);
+    Obs.Timeseries.pulse ();
     maybe_commit h
 
   (* One sink write and (at most) one flush for the whole list: the

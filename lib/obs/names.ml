@@ -72,6 +72,22 @@ let matview_staleness = "prov.matview.staleness.events"
 let matview_update_ns = "prov.matview.update.ns"
 let matview_serves = "prov.matview.serves.total"
 
+(* --- statistics catalog --- *)
+
+let stats_analyzes = "prov.stats.analyzes.total"
+let stats_analyze_ns = "prov.stats.analyze.ns"
+let stats_estimates = "prov.stats.estimates.total"
+let stats_misestimates = "prov.stats.misestimates.total"
+
+(* --- slow-query log --- *)
+
+let slowlog_notes = "prov.slowlog.notes.total"
+let slowlog_evictions = "prov.slowlog.evictions.total"
+
+(* --- telemetry time-series --- *)
+
+let timeseries_points = "prov.timeseries.points.total"
+
 let all =
   [
     browser_events;
@@ -116,6 +132,13 @@ let all =
     matview_staleness;
     matview_update_ns;
     matview_serves;
+    stats_analyzes;
+    stats_analyze_ns;
+    stats_estimates;
+    stats_misestimates;
+    slowlog_notes;
+    slowlog_evictions;
+    timeseries_points;
   ]
 
 let registered name = List.mem name all
@@ -133,3 +156,4 @@ let span_query = "query"
 let span_wal_compact = "wal.compact"
 let span_wal_recover = "wal.recover"
 let span_wal_flush = "wal.flush"
+let span_stats_analyze = "stats.analyze"

@@ -113,6 +113,28 @@ val matview_serves : string
 (** Queries answered from a registered matview source instead of a
     table scan or the LRU cache. *)
 
+val stats_analyzes : string
+(** Statistics-catalog analyze passes completed (per table). *)
+
+val stats_analyze_ns : string
+(** Histogram of per-table analyze latency in nanoseconds. *)
+
+val stats_estimates : string
+(** Row-count estimates served from a fresh statistics catalog. *)
+
+val stats_misestimates : string
+(** Stats-guided estimates whose actual/estimated ratio exceeded the
+    misestimate threshold (each also records a flight-recorder event). *)
+
+val slowlog_notes : string
+(** Queries recorded into the slow-query ring (new or deduplicated). *)
+
+val slowlog_evictions : string
+(** Slow-query fingerprints evicted by the ring's capacity bound. *)
+
+val timeseries_points : string
+(** Metric snapshots captured into a telemetry time-series ring. *)
+
 val all : string list
 (** Every registered metric name, in declaration order (span names are
     not metrics and are not listed). *)
@@ -135,3 +157,6 @@ val span_wal_recover : string
 
 val span_wal_flush : string
 (** Group-commit flushes of the segmented WAL's pending batch. *)
+
+val span_stats_analyze : string
+(** Statistics-catalog analyze passes ([Relstore.Stats.analyze]). *)

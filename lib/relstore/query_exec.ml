@@ -57,13 +57,19 @@ let plan_name = function
   | Index_eq _ -> "index_eq"
   | Index_range _ -> "index_range"
 
-type plan_detail = { chosen : plan; estimated_rows : int; table_rows : int }
+type plan_detail = {
+  chosen : plan;
+  estimated_rows : int;
+  table_rows : int;
+  est_from_stats : bool;
+}
 
-(* Rows the access path will pull before residual filtering.  For the
-   index paths this probes the index (cheap: O(log n + k)) without
-   touching the heap, so it is an exact candidate count; for a scan it
-   is the table's cardinality. *)
-let plan_detail table where =
+(* The pre-catalog heuristic: rows the access path will pull before
+   residual filtering.  For the index paths this probes the index
+   (cheap: O(log n + k)) without touching the heap, so it is an exact
+   candidate count — but it ignores residual predicates entirely, and
+   for a scan it is the whole table however selective the predicate. *)
+let plan_detail_heuristic table where =
   let access = access_for table where in
   let estimated_rows =
     match access with
@@ -74,7 +80,71 @@ let plan_detail table where =
       let hi = Option.map (fun v -> [ v ]) hi in
       Index.fold_range ?lo ?hi idx ~init:0 ~f:(fun acc _ _ -> acc + 1)
   in
-  { chosen = plan_of_access access; estimated_rows; table_rows = Table.row_count table }
+  { chosen = plan_of_access access; estimated_rows; table_rows = Table.row_count table;
+    est_from_stats = false }
+
+let m_estimates = Obs.Metrics.counter Obs.Names.stats_estimates
+let m_misestimates = Obs.Metrics.counter Obs.Names.stats_misestimates
+
+let plan_detail table where =
+  match Stats.fresh table with
+  | None -> plan_detail_heuristic table where
+  | Some ts ->
+    let est = Stats.estimate_rows ts where in
+    if Obs.Metrics.enabled () then Obs.Metrics.incr m_estimates;
+    { chosen = plan_of_access (access_for table where);
+      estimated_rows = int_of_float (Float.round est);
+      table_rows = Table.row_count table;
+      est_from_stats = true }
+
+(* Estimated candidate rows an access path yields, from fresh stats:
+   the per-operator numbers EXPLAIN ANALYZE shows next to actuals. *)
+let estimate_access ts access ~table_rows =
+  match access with
+  | A_scan -> float_of_int table_rows
+  | A_eq (idx, key) ->
+    let n = float_of_int ts.Stats.ts_rows in
+    if n <= 0.0 then 0.0
+    else
+      List.fold_left2
+        (fun acc col v -> acc *. (Stats.estimate_eq ts col v /. n))
+        n (Index.column_names idx) key
+  | A_range (idx, lo, hi) -> begin
+    match Index.column_names idx with
+    | col :: _ -> Stats.estimate_range ts col lo hi
+    | [] -> float_of_int table_rows
+  end
+
+(* Misestimate detector: when a fresh-stats estimate was served and the
+   actual row count disagrees by more than the threshold ratio in
+   either direction, tick the counter and leave a flight-recorder
+   incident pointing at the table (the cue to re-analyze). *)
+let misestimate_threshold = ref 10.0
+
+let set_misestimate_threshold r =
+  if r < 1.0 then invalid_arg "Query_exec.set_misestimate_threshold: must be >= 1.0";
+  misestimate_threshold := r
+
+let note_estimate ~op table where ~actual =
+  if Obs.Metrics.enabled () then
+    match Stats.fresh table with
+    | None -> ()
+    | Some ts ->
+      let est = Float.max 1.0 (Stats.estimate_rows ts where) in
+      let act = Float.max 1.0 (float_of_int actual) in
+      let ratio = Float.max (act /. est) (est /. act) in
+      if ratio > !misestimate_threshold then begin
+        Obs.Metrics.incr m_misestimates;
+        Obs.Flight.record "stats.misestimate"
+          ~attrs:
+            [
+              ("op", op);
+              ("table", Table.name table);
+              ("estimated", Printf.sprintf "%.0f" est);
+              ("actual", string_of_int actual);
+              ("ratio", Printf.sprintf "%.1f" ratio);
+            ]
+      end
 
 let rows_of_access table = function
   | A_eq (idx, key) ->
@@ -114,7 +184,7 @@ let query_span_threshold_ns = ref 100_000
 
 let set_query_span_threshold_ns n = query_span_threshold_ns := n
 
-let executed ~op ~table_name run =
+let executed ~op ~table_name ?(detail = fun () -> "") run =
   if not (Obs.Metrics.enabled ()) then begin
     let result, plan, scanned, returned = run () in
     (result, { plan; rows_scanned = scanned; rows_returned = returned; elapsed_ns = 0 })
@@ -147,6 +217,11 @@ let executed ~op ~table_name run =
             ("rows_returned", string_of_int returned);
           ]
         ~start_ns ~dur_ns:(Int64.of_int elapsed);
+    (* The slow-query log has its own (higher) threshold; the predicate
+       shape is only rendered for queries that cross it. *)
+    if elapsed >= Slowlog.threshold_ns () then
+      Slowlog.note ~table:table_name ~op ~plan:(plan_name plan) ~detail:(detail ())
+        ~elapsed_ns:elapsed ~rows_scanned:scanned ~rows_returned:returned;
     (result, { plan; rows_scanned = scanned; rows_returned = returned; elapsed_ns = elapsed })
   end
 
@@ -285,9 +360,13 @@ let compare_rows schema order_by (ra_id, ra) (rb_id, rb) =
   in
   go order_by
 
+(* Rendered lazily: only queries that cross the slowlog threshold pay
+   for pretty-printing their predicate. *)
+let pred_detail where () = Format.asprintf "%a" Predicate.pp where
+
 let select_stats ?(where = Predicate.True) ?(order_by = []) ?limit table =
   let schema = Table.schema table in
-  executed ~op:"select" ~table_name:(Table.name table) (fun () ->
+  executed ~op:"select" ~table_name:(Table.name table) ~detail:(pred_detail where) (fun () ->
       let access = access_for table where in
       let cands = rows_of_access table access in
       let hits =
@@ -320,7 +399,7 @@ let select ?(where = Predicate.True) ?(order_by = []) ?limit table =
 
 let count_stats ?(where = Predicate.True) table =
   let schema = Table.schema table in
-  executed ~op:"count" ~table_name:(Table.name table) (fun () ->
+  executed ~op:"count" ~table_name:(Table.name table) ~detail:(pred_detail where) (fun () ->
       let access = access_for table where in
       let cands = rows_of_access table access in
       let n =
@@ -354,7 +433,9 @@ let join_stats ?(where_left = Predicate.True) ?(where_right = Predicate.True)
      this executor makes (the left side records its own select).  Rows
      scanned counts the probed/hashed right rows. *)
   let scanned = ref 0 in
-  executed ~op:"join" ~table_name:(Table.name right) (fun () ->
+  executed ~op:"join" ~table_name:(Table.name right)
+    ~detail:(fun () -> "on " ^ String.concat "," (List.map snd on))
+    (fun () ->
       let left_rows = select ~where:where_left left in
       let key_of_left (_, row) = List.map (Row.get lschema row) left_cols in
       let plan, right_matches =
@@ -391,7 +472,8 @@ let join ?where_left ?where_right ~on left right =
 
 let group_count_stats ~by ?(where = Predicate.True) table =
   let schema = Table.schema table in
-  executed ~op:"group_count" ~table_name:(Table.name table) (fun () ->
+  executed ~op:"group_count" ~table_name:(Table.name table) ~detail:(pred_detail where)
+    (fun () ->
       let access = access_for table where in
       let cands = rows_of_access table access in
       let counts = Hashtbl.create 64 in
@@ -437,6 +519,8 @@ type profile = {
   detail : string;
   rows_in : int;
   rows_out : int;
+  est_rows : int option;
+      (* catalog estimate of rows_out, present when fresh stats existed *)
   dur_ns : int;
   children : profile list;
 }
@@ -458,8 +542,20 @@ let access_detail = function
   | A_eq (idx, _) -> Printf.sprintf "index_eq(%s)" (Index.name idx)
   | A_range (idx, _, _) -> Printf.sprintf "index_range(%s)" (Index.name idx)
 
-let leaf op detail rows_in rows_out a b =
-  { op; detail; rows_in; rows_out; dur_ns = ns_between a b; children = [] }
+let leaf ?est op detail rows_in rows_out a b =
+  { op; detail; rows_in; rows_out; est_rows = est; dur_ns = ns_between a b; children = [] }
+
+(* Per-operator estimates for the profiled variants, all from one
+   fresh-stats lookup: the probe phase gets the access-path estimate,
+   the filter phase (and the root) the post-predicate estimate. *)
+let round_est f = Some (int_of_float (Float.round f))
+
+let profile_estimates table where access =
+  match Stats.fresh table with
+  | None -> (None, None)
+  | Some ts ->
+    ( round_est (estimate_access ts access ~table_rows:(Table.row_count table)),
+      round_est (Stats.estimate_rows ts where) )
 
 (* Resolve the access path to candidate rowids without touching the row
    heap ([None] = scan: every rowid, enumerated by the fetch phase). *)
@@ -485,9 +581,11 @@ let select_profiled ?(where = Predicate.True) ?(order_by = []) ?limit table =
   let table_rows = Table.row_count table in
   let profile = ref None in
   let final, stats =
-    executed ~op:"select" ~table_name:(Table.name table) (fun () ->
+    executed ~op:"select" ~table_name:(Table.name table) ~detail:(pred_detail where)
+      (fun () ->
         let t0 = now_ns () in
         let access = access_for table where in
+        let probe_est, filter_est = profile_estimates table where access in
         let rowids = probe_rowids access in
         let t1 = now_ns () in
         let cands = fetch_rows table rowids in
@@ -510,6 +608,7 @@ let select_profiled ?(where = Predicate.True) ?(order_by = []) ?limit table =
         let t5 = now_ns () in
         let n_final = List.length final in
         let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        note_estimate ~op:"select" table where ~actual:n_hits;
         profile :=
           Some
             {
@@ -517,12 +616,13 @@ let select_profiled ?(where = Predicate.True) ?(order_by = []) ?limit table =
               detail = Table.name table;
               rows_in = table_rows;
               rows_out = n_final;
+              est_rows = filter_est;
               dur_ns = ns_between t0 t5;
               children =
                 [
-                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf ?est:probe_est "probe" (access_detail access) table_rows probed t0 t1;
                   leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
-                  leaf "filter" "residual_predicate" n_cands n_hits t2 t3;
+                  leaf ?est:filter_est "filter" "residual_predicate" n_cands n_hits t2 t3;
                   leaf "sort"
                     (match order_by with [] -> "rowid_order" | _ :: _ -> "order_by")
                     n_hits n_hits t3 t4;
@@ -540,9 +640,11 @@ let count_profiled ?(where = Predicate.True) table =
   let table_rows = Table.row_count table in
   let profile = ref None in
   let n, stats =
-    executed ~op:"count" ~table_name:(Table.name table) (fun () ->
+    executed ~op:"count" ~table_name:(Table.name table) ~detail:(pred_detail where)
+      (fun () ->
         let t0 = now_ns () in
         let access = access_for table where in
+        let probe_est, filter_est = profile_estimates table where access in
         let rowids = probe_rowids access in
         let t1 = now_ns () in
         let cands = fetch_rows table rowids in
@@ -553,6 +655,7 @@ let count_profiled ?(where = Predicate.True) table =
         in
         let t3 = now_ns () in
         let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        note_estimate ~op:"count" table where ~actual:n;
         profile :=
           Some
             {
@@ -560,12 +663,13 @@ let count_profiled ?(where = Predicate.True) table =
               detail = Table.name table;
               rows_in = table_rows;
               rows_out = 1;
+              est_rows = None;
               dur_ns = ns_between t0 t3;
               children =
                 [
-                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf ?est:probe_est "probe" (access_detail access) table_rows probed t0 t1;
                   leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
-                  leaf "filter" "residual_predicate" n_cands n t2 t3;
+                  leaf ?est:filter_est "filter" "residual_predicate" n_cands n t2 t3;
                 ];
             };
         (n, plan_of_access access, n_cands, 1))
@@ -577,18 +681,33 @@ let group_count_profiled ~by ?(where = Predicate.True) table =
   let table_rows = Table.row_count table in
   let profile = ref None in
   let pairs, stats =
-    executed ~op:"group_count" ~table_name:(Table.name table) (fun () ->
+    executed ~op:"group_count" ~table_name:(Table.name table) ~detail:(pred_detail where)
+      (fun () ->
         let t0 = now_ns () in
         let access = access_for table where in
+        let probe_est, filter_est = profile_estimates table where access in
+        (* The aggregate phase's output is groups, not rows: cap the
+           filtered-row estimate by the grouping column's NDV. *)
+        let group_est =
+          match (Stats.fresh table, filter_est) with
+          | Some ts, Some est -> begin
+            match List.assoc_opt by ts.Stats.ts_columns with
+            | Some cs -> round_est (Float.min cs.Stats.cs_ndv (float_of_int est))
+            | None -> None
+          end
+          | _ -> None
+        in
         let rowids = probe_rowids access in
         let t1 = now_ns () in
         let cands = fetch_rows table rowids in
         let n_cands = List.length cands in
         let t2 = now_ns () in
         let counts = Hashtbl.create 64 in
+        let matched = ref 0 in
         List.iter
           (fun (_, row) ->
             if Predicate.eval where schema row then begin
+              incr matched;
               let key = Row.get schema row by in
               let n = Option.value ~default:0 (Hashtbl.find_opt counts key) in
               Hashtbl.replace counts key (n + 1)
@@ -606,6 +725,7 @@ let group_count_profiled ~by ?(where = Predicate.True) table =
         in
         let t4 = now_ns () in
         let probed = match rowids with Some ids -> List.length ids | None -> table_rows in
+        note_estimate ~op:"group_count" table where ~actual:!matched;
         profile :=
           Some
             {
@@ -613,12 +733,14 @@ let group_count_profiled ~by ?(where = Predicate.True) table =
               detail = Table.name table;
               rows_in = table_rows;
               rows_out = n_groups;
+              est_rows = None;
               dur_ns = ns_between t0 t4;
               children =
                 [
-                  leaf "probe" (access_detail access) table_rows probed t0 t1;
+                  leaf ?est:probe_est "probe" (access_detail access) table_rows probed t0 t1;
                   leaf "fetch" (fetch_detail access) probed n_cands t1 t2;
-                  leaf "aggregate" ("group_by(" ^ by ^ ")") n_cands n_groups t2 t3;
+                  leaf ?est:group_est "aggregate" ("group_by(" ^ by ^ ")") n_cands n_groups t2
+                    t3;
                   leaf "sort" "count_desc" n_groups n_groups t3 t4;
                 ];
             };
@@ -686,6 +808,7 @@ let join_profiled ?(where_left = Predicate.True) ?(where_right = Predicate.True)
               detail = Printf.sprintf "%s x %s" (Table.name left) (Table.name right);
               rows_in = n_left;
               rows_out = n_pairs;
+              est_rows = None;
               dur_ns = ns_between t0 t3;
               children =
                 [ leaf "left_input" (Table.name left) (Table.row_count left) n_left t0 t1 ]
@@ -700,10 +823,12 @@ let join_profiled ?(where_left = Predicate.True) ?(where_right = Predicate.True)
 
 let rec profile_to_json p =
   Printf.sprintf
-    "{\"op\":\"%s\",\"detail\":\"%s\",\"rows_in\":%d,\"rows_out\":%d,\"dur_ns\":%d,\"children\":[%s]}"
+    "{\"op\":\"%s\",\"detail\":\"%s\",\"rows_in\":%d,\"rows_out\":%d,%s\"dur_ns\":%d,\"children\":[%s]}"
     (Obs.Metrics.json_escape p.op)
     (Obs.Metrics.json_escape p.detail)
-    p.rows_in p.rows_out p.dur_ns
+    p.rows_in p.rows_out
+    (match p.est_rows with None -> "" | Some e -> Printf.sprintf "\"est_rows\":%d," e)
+    p.dur_ns
     (String.concat "," (List.map profile_to_json p.children))
 
 let render_profile p =
@@ -711,8 +836,14 @@ let render_profile p =
   let buf = Buffer.create 256 in
   let rec go depth n =
     let label = String.make (2 * depth) ' ' ^ n.op ^ " " ^ n.detail in
+    let est =
+      match n.est_rows with
+      | None -> String.make 11 ' '
+      | Some e -> Printf.sprintf " (est %4d)" e
+    in
     Buffer.add_string buf
-      (Printf.sprintf "%-44s rows %6d -> %-6d %5.1f%% %10.3f ms\n" label n.rows_in n.rows_out
+      (Printf.sprintf "%-44s rows %6d -> %-6d%s %5.1f%% %10.3f ms\n" label n.rows_in
+         n.rows_out est
          (100.0 *. float_of_int n.dur_ns /. float_of_int total)
          (float_of_int n.dur_ns /. 1e6));
     List.iter (go (depth + 1)) n.children

@@ -26,15 +26,32 @@ val plan_name : plan -> string
 type plan_detail = {
   chosen : plan;
   estimated_rows : int;
-      (** rows the access path will examine before residual filtering:
-          an exact candidate count from an index probe for the index
-          paths, the table cardinality for a scan *)
+      (** with fresh catalog statistics ([est_from_stats = true]): the
+          estimated rows the query will {e return}, from
+          {!Stats.selectivity}; without: the pre-catalog heuristic — an
+          exact candidate count from an index probe for the index paths
+          (residual predicates ignored), the table cardinality for a
+          scan *)
   table_rows : int;  (** the table's total cardinality, for context *)
+  est_from_stats : bool;  (** the estimate came from a fresh catalog entry *)
 }
 
 val plan_detail : Table.t -> Predicate.t -> plan_detail
-(** {!plan_for} plus the estimated rows examined.  Probes indexes
-    (without touching the row heap) but never executes the query. *)
+(** {!plan_for} plus estimated rows.  Uses the statistics catalog when
+    {!Stats.fresh} has an entry for the table (ticking
+    [prov.stats.estimates.total]), else falls back to
+    {!plan_detail_heuristic}.  Never executes the query. *)
+
+val plan_detail_heuristic : Table.t -> Predicate.t -> plan_detail
+(** The pre-catalog estimator, kept callable so estimate quality can be
+    compared against the stats-guided path.  Probes indexes (without
+    touching the row heap) but never executes the query. *)
+
+val set_misestimate_threshold : float -> unit
+(** Ratio (either direction, default 10.0) between actual and
+    stats-estimated row counts beyond which a profiled query ticks
+    [prov.stats.misestimates.total] and records a [stats.misestimate]
+    flight-recorder incident.  Raises [Invalid_argument] below 1.0. *)
 
 type exec_stats = {
   plan : plan;  (** the access path actually used *)
@@ -118,6 +135,11 @@ type profile = {
   detail : string;  (** e.g. [index_eq(node_url)], [residual_predicate] *)
   rows_in : int;
   rows_out : int;
+  est_rows : int option;
+      (** the catalog's estimate of [rows_out], present on the probe,
+          filter and aggregate phases (and the select root) when the
+          table had fresh statistics at execution — the
+          estimated-vs-actual column EXPLAIN ANALYZE prints *)
   dur_ns : int;
   children : profile list;
 }

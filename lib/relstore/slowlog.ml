@@ -1,0 +1,264 @@
+module Obs = Provkit_obs
+
+type entry = {
+  e_fingerprint : int;
+  e_table : string;
+  e_op : string;
+  e_plan : string;
+  e_detail : string;
+  mutable e_count : int;
+  mutable e_total_ns : int;
+  mutable e_max_ns : int;
+  mutable e_last_ns : int;
+  mutable e_rows_scanned : int;
+  mutable e_rows_returned : int;
+  mutable e_first_ns : int64;
+  mutable e_last_ns_seen : int64;
+}
+
+let m_notes = Obs.Metrics.counter Obs.Names.slowlog_notes
+let m_evictions = Obs.Metrics.counter Obs.Names.slowlog_evictions
+
+let threshold = ref 1_000_000
+let cap = ref 128
+let ring : (int, entry) Hashtbl.t = Hashtbl.create 64
+
+let threshold_ns () = !threshold
+
+let set_threshold_ns n =
+  if n < 0 then invalid_arg "Slowlog.set_threshold_ns: must be non-negative";
+  threshold := n
+
+let capacity () = !cap
+
+let fingerprint ~table ~op ~plan ~detail =
+  (* Length-prefixed so ("a","bc") and ("ab","c") cannot collide by
+     construction; CRC-32 keeps the key a small printable int. *)
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s)
+    [ table; op; plan; detail ];
+  Provkit_util.Crc32.digest (Buffer.contents buf)
+
+let evict_oldest () =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | None -> Some e
+        | Some best ->
+          if Int64.compare e.e_last_ns_seen best.e_last_ns_seen < 0 then Some e else acc)
+      ring None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove ring e.e_fingerprint;
+    Obs.Metrics.incr m_evictions
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Slowlog.set_capacity: must be positive";
+  cap := n;
+  while Hashtbl.length ring > !cap do
+    evict_oldest ()
+  done
+
+let note ~table ~op ~plan ~detail ~elapsed_ns ~rows_scanned ~rows_returned =
+  let fp = fingerprint ~table ~op ~plan ~detail in
+  let now = Provkit_util.Timing.now_ns () in
+  (match Hashtbl.find_opt ring fp with
+  | Some e ->
+    e.e_count <- e.e_count + 1;
+    e.e_total_ns <- e.e_total_ns + elapsed_ns;
+    if elapsed_ns > e.e_max_ns then e.e_max_ns <- elapsed_ns;
+    e.e_last_ns <- elapsed_ns;
+    e.e_rows_scanned <- rows_scanned;
+    e.e_rows_returned <- rows_returned;
+    e.e_last_ns_seen <- now
+  | None ->
+    if Hashtbl.length ring >= !cap then evict_oldest ();
+    Hashtbl.replace ring fp
+      {
+        e_fingerprint = fp;
+        e_table = table;
+        e_op = op;
+        e_plan = plan;
+        e_detail = detail;
+        e_count = 1;
+        e_total_ns = elapsed_ns;
+        e_max_ns = elapsed_ns;
+        e_last_ns = elapsed_ns;
+        e_rows_scanned = rows_scanned;
+        e_rows_returned = rows_returned;
+        e_first_ns = now;
+        e_last_ns_seen = now;
+      });
+  Obs.Metrics.incr m_notes
+
+let entries () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) ring []
+  |> List.sort (fun a b -> Int.compare b.e_total_ns a.e_total_ns)
+
+let length () = Hashtbl.length ring
+let clear () = Hashtbl.reset ring
+
+(* --- serialization --- *)
+
+let to_json e =
+  Printf.sprintf
+    "{\"fingerprint\":%d,\"table\":\"%s\",\"op\":\"%s\",\"plan\":\"%s\",\"detail\":\"%s\",\"count\":%d,\"total_ns\":%d,\"max_ns\":%d,\"last_ns\":%d,\"rows_scanned\":%d,\"rows_returned\":%d,\"first_ns\":%Ld,\"last_seen_ns\":%Ld}"
+    e.e_fingerprint
+    (Obs.Metrics.json_escape e.e_table)
+    (Obs.Metrics.json_escape e.e_op)
+    (Obs.Metrics.json_escape e.e_plan)
+    (Obs.Metrics.json_escape e.e_detail)
+    e.e_count e.e_total_ns e.e_max_ns e.e_last_ns e.e_rows_scanned e.e_rows_returned
+    e.e_first_ns e.e_last_ns_seen
+
+(* Minimal flat-object JSON reader, the same discipline as
+   Trace.Jsonl_reader: handles exactly the subset to_json emits. *)
+module Reader = struct
+  type tok = { src : string; mutable pos : int }
+
+  exception Bad
+
+  let peek t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+  let skip_ws t =
+    while t.pos < String.length t.src && (t.src.[t.pos] = ' ' || t.src.[t.pos] = '\t') do
+      t.pos <- t.pos + 1
+    done
+
+  let expect t c =
+    skip_ws t;
+    match peek t with
+    | Some c' when c' = c -> t.pos <- t.pos + 1
+    | Some _ | None -> raise Bad
+
+  let string t =
+    expect t '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if t.pos >= String.length t.src then raise Bad;
+      match t.src.[t.pos] with
+      | '"' -> t.pos <- t.pos + 1
+      | '\\' ->
+        if t.pos + 1 >= String.length t.src then raise Bad;
+        (match t.src.[t.pos + 1] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | c -> Buffer.add_char buf c);
+        t.pos <- t.pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        t.pos <- t.pos + 1;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let scalar t =
+    skip_ws t;
+    let start = t.pos in
+    while
+      t.pos < String.length t.src
+      && match t.src.[t.pos] with '0' .. '9' | '-' | '+' -> true | _ -> false
+    do
+      t.pos <- t.pos + 1
+    done;
+    if t.pos = start then raise Bad;
+    String.sub t.src start (t.pos - start)
+
+  let fields line =
+    let t = { src = line; pos = 0 } in
+    let out = ref [] in
+    expect t '{';
+    let rec members () =
+      skip_ws t;
+      let key = string t in
+      expect t ':';
+      skip_ws t;
+      (match peek t with
+      | Some '"' -> out := (key, string t) :: !out
+      | Some _ -> out := (key, scalar t) :: !out
+      | None -> raise Bad);
+      skip_ws t;
+      match peek t with
+      | Some ',' ->
+        t.pos <- t.pos + 1;
+        members ()
+      | Some '}' -> t.pos <- t.pos + 1
+      | Some _ | None -> raise Bad
+    in
+    members ();
+    !out
+end
+
+let of_json line =
+  match Reader.fields line with
+  | exception Reader.Bad -> None
+  | fields -> (
+    let str k = List.assoc_opt k fields in
+    let num k = Option.bind (str k) int_of_string_opt in
+    let num64 k = Option.bind (str k) Int64.of_string_opt in
+    match
+      ( str "table", str "op", str "plan", str "detail",
+        num "fingerprint", num "count", num "total_ns" )
+    with
+    | Some table, Some op, Some plan, Some detail, Some fp, Some count, Some total ->
+      let d k = Option.value ~default:0 (num k) in
+      let d64 k = Option.value ~default:0L (num64 k) in
+      Some
+        {
+          e_fingerprint = fp;
+          e_table = table;
+          e_op = op;
+          e_plan = plan;
+          e_detail = detail;
+          e_count = count;
+          e_total_ns = total;
+          e_max_ns = d "max_ns";
+          e_last_ns = d "last_ns";
+          e_rows_scanned = d "rows_scanned";
+          e_rows_returned = d "rows_returned";
+          e_first_ns = d64 "first_ns";
+          e_last_ns_seen = d64 "last_seen_ns";
+        }
+    | _ -> None)
+
+let dump_jsonl buf =
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (to_json e);
+      Buffer.add_char buf '\n')
+    (entries ())
+
+let load_jsonl s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line -> if String.trim line = "" then None else of_json line)
+
+let render es =
+  Provkit_util.Table_fmt.render
+    ~aligns:
+      Provkit_util.Table_fmt.[ Left; Left; Left; Left; Right; Right; Right; Right ]
+    ~header:[ "table"; "op"; "plan"; "detail"; "count"; "total ms"; "max ms"; "rows" ]
+    (List.map
+       (fun e ->
+         [
+           e.e_table;
+           e.e_op;
+           e.e_plan;
+           e.e_detail;
+           string_of_int e.e_count;
+           Printf.sprintf "%.3f" (float_of_int e.e_total_ns /. 1e6);
+           Printf.sprintf "%.3f" (float_of_int e.e_max_ns /. 1e6);
+           Printf.sprintf "%d/%d" e.e_rows_scanned e.e_rows_returned;
+         ])
+       es)

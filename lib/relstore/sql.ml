@@ -573,6 +573,7 @@ type explain_report = {
   table : string;
   plan : Query_exec.plan;
   estimated_rows : int;
+  est_from_stats : bool;
   stats : Query_exec.exec_stats;
 }
 
@@ -582,7 +583,10 @@ let explain_query db input =
   let detail = Query_exec.plan_detail table ast.where in
   let _, stats = execute_stats db ast in
   { table = ast.table; plan = stats.Query_exec.plan;
-    estimated_rows = detail.Query_exec.estimated_rows; stats }
+    estimated_rows = detail.Query_exec.estimated_rows;
+    est_from_stats = detail.Query_exec.est_from_stats; stats }
+
+let est_source from_stats = if from_stats then "statistics catalog" else "heuristic"
 
 let render_explain r =
   let s = r.stats in
@@ -590,7 +594,7 @@ let render_explain r =
     [
       Printf.sprintf "table:          %s" r.table;
       Printf.sprintf "plan:           %s" (plan_to_string r.plan);
-      Printf.sprintf "estimated rows: %d" r.estimated_rows;
+      Printf.sprintf "estimated rows: %d (%s)" r.estimated_rows (est_source r.est_from_stats);
       Printf.sprintf "rows scanned:   %d" s.Query_exec.rows_scanned;
       Printf.sprintf "rows returned:  %d" s.Query_exec.rows_returned;
       Printf.sprintf "latency:        %.3f ms"
@@ -603,6 +607,7 @@ type analyze_report = {
   a_table : string;
   a_plan : Query_exec.plan;
   a_estimated_rows : int;
+  a_est_from_stats : bool;
   a_stats : Query_exec.exec_stats;
   a_profile : Query_exec.profile;
 }
@@ -610,15 +615,26 @@ type analyze_report = {
 let analyze_query db input =
   let ast = parse input in
   let table = Database.table db ast.table in
+  (* EXPLAIN ANALYZE is the opt-in to estimated-vs-actual reporting:
+     make sure the catalog can actually estimate by analyzing the table
+     when its entry is missing or stale. *)
+  if Option.is_none (Stats.fresh table) then ignore (Stats.analyze table);
   let detail = Query_exec.plan_detail table ast.where in
   let _, stats, profile = execute_profiled db ast in
   {
     a_table = ast.table;
     a_plan = stats.Query_exec.plan;
     a_estimated_rows = detail.Query_exec.estimated_rows;
+    a_est_from_stats = detail.Query_exec.est_from_stats;
     a_stats = stats;
     a_profile = profile;
   }
+
+(* actual/estimated mismatch factor, >= 1, on the returned-row count. *)
+let estimate_error r =
+  let est = Float.max 1.0 (float_of_int r.a_estimated_rows) in
+  let act = Float.max 1.0 (float_of_int r.a_stats.Query_exec.rows_returned) in
+  Float.max (act /. est) (est /. act)
 
 let render_analyze r =
   (* The reported latency is the profile root's interval — the same
@@ -628,9 +644,11 @@ let render_analyze r =
     [
       Printf.sprintf "table:          %s" r.a_table;
       Printf.sprintf "plan:           %s" (plan_to_string r.a_plan);
-      Printf.sprintf "estimated rows: %d" r.a_estimated_rows;
+      Printf.sprintf "estimated rows: %d (%s)" r.a_estimated_rows
+        (est_source r.a_est_from_stats);
       Printf.sprintf "rows scanned:   %d" r.a_stats.Query_exec.rows_scanned;
-      Printf.sprintf "rows returned:  %d" r.a_stats.Query_exec.rows_returned;
+      Printf.sprintf "rows returned:  %d (estimate off by %.1fx)"
+        r.a_stats.Query_exec.rows_returned (estimate_error r);
       Printf.sprintf "latency:        %.3f ms"
         (float_of_int r.a_profile.Query_exec.dur_ns /. 1e6);
       "";
@@ -639,8 +657,9 @@ let render_analyze r =
 
 let analyze_to_json r =
   Printf.sprintf
-    "{\"table\":\"%s\",\"plan\":\"%s\",\"estimated_rows\":%d,\"rows_scanned\":%d,\"rows_returned\":%d,\"profile\":%s}"
+    "{\"table\":\"%s\",\"plan\":\"%s\",\"estimated_rows\":%d,\"est_from_stats\":%b,\"rows_scanned\":%d,\"rows_returned\":%d,\"profile\":%s}"
     (Provkit_obs.Metrics.json_escape r.a_table)
     (Provkit_obs.Metrics.json_escape (plan_to_string r.a_plan))
-    r.a_estimated_rows r.a_stats.Query_exec.rows_scanned r.a_stats.Query_exec.rows_returned
+    r.a_estimated_rows r.a_est_from_stats r.a_stats.Query_exec.rows_scanned
+    r.a_stats.Query_exec.rows_returned
     (Query_exec.profile_to_json r.a_profile)

@@ -66,6 +66,7 @@ type explain_report = {
   table : string;
   plan : Query_exec.plan;  (** always equals [Query_exec.plan_for] on the query *)
   estimated_rows : int;  (** {!Query_exec.plan_detail}'s estimate *)
+  est_from_stats : bool;  (** the estimate used a fresh catalog entry *)
   stats : Query_exec.exec_stats;
 }
 
@@ -87,18 +88,27 @@ type analyze_report = {
   a_table : string;
   a_plan : Query_exec.plan;
   a_estimated_rows : int;
+  a_est_from_stats : bool;
   a_stats : Query_exec.exec_stats;
   a_profile : Query_exec.profile;
 }
 
 val analyze_query : Database.t -> string -> analyze_report
 (** EXPLAIN ANALYZE: parse, plan, and execute the query through
-    {!execute_profiled} — the [provctl sql --analyze] surface. *)
+    {!execute_profiled} — the [provctl sql --analyze] surface.
+    Analyzes the table into the statistics catalog first when its entry
+    is missing or stale, so the report's estimates (and the profile's
+    per-operator [est_rows]) always come from fresh statistics. *)
+
+val estimate_error : analyze_report -> float
+(** Actual/estimated mismatch factor on returned rows, [>= 1.0]
+    (1.0 = perfect estimate). *)
 
 val render_analyze : analyze_report -> string
-(** The {!render_explain} header (latency taken from the profile root)
-    followed by the indented operator tree with rows in/out and percent
-    of total per node. *)
+(** The {!render_explain} header (latency taken from the profile root,
+    estimate error against the returned-row count) followed by the
+    indented operator tree with rows in/out, catalog estimates where
+    available, and percent of total per node. *)
 
 val analyze_to_json : analyze_report -> string
 (** One JSON object with the header fields and the raw profile tree. *)

@@ -1,0 +1,103 @@
+(** The statistics catalog: per-table, per-column summaries collected by
+    an [analyze] pass and consumed by the planner's row-count estimator.
+
+    Statistics are keyed by {!Table.uid} and stamped with the table's
+    {!Table.epoch} at collection time, so staleness is a single integer
+    comparison — the same validity rule the query cache and matview
+    layers already use.  A stale entry is still {!lookup}-able (for
+    inspection) but {!fresh} returns [None] and the planner falls back
+    to its pre-catalog heuristics.
+
+    Column summaries carry row/null counts, min/max, a HyperLogLog
+    distinct-count estimate, and — for indexed columns — an equi-depth
+    value histogram whose bucket boundaries capture skew (a heavy
+    hitter spans several buckets; the estimator notices). *)
+
+type histogram = {
+  hb_min : Value.t;  (** smallest non-null value summarized *)
+  hb_bounds : Value.t array;
+      (** per-bucket inclusive upper bounds, non-decreasing; each bucket
+          holds ≈ [hb_rows / Array.length hb_bounds] values *)
+  hb_rows : int;  (** non-null values the histogram summarizes *)
+}
+
+type col_stats = {
+  cs_column : string;
+  cs_nulls : int;  (** null cells among the examined rows *)
+  cs_null_frac : float;
+  cs_min : Value.t;  (** [Null] when every examined cell was null *)
+  cs_max : Value.t;
+  cs_ndv : float;  (** HyperLogLog estimate of distinct non-null values *)
+  cs_histogram : histogram option;  (** present for indexed columns *)
+}
+
+type table_stats = {
+  ts_table : string;
+  ts_uid : int;
+  ts_epoch : int;  (** table epoch at collection; the staleness stamp *)
+  ts_rows : int;  (** table row count at collection *)
+  ts_sampled : int;  (** rows actually examined ([= ts_rows] when full) *)
+  ts_columns : (string * col_stats) list;  (** schema order *)
+}
+
+(** {2 Collection} *)
+
+val analyze : ?sample:int -> ?buckets:int -> ?seed:int -> Table.t -> table_stats
+(** Scan the table (or a uniform sample of [sample] rows, drawn
+    deterministically from [seed], default 42), summarize every column,
+    store the result in the process-wide catalog and return it.
+    [buckets] (default 32) sizes the equi-depth histograms built for
+    indexed columns.  Ticks {!Provkit_obs.Names.stats_analyzes},
+    observes {!Provkit_obs.Names.stats_analyze_ns} and runs under a
+    {!Provkit_obs.Names.span_stats_analyze} span. *)
+
+val analyze_database :
+  ?sample:int -> ?buckets:int -> ?seed:int -> Database.t -> table_stats list
+(** {!analyze} every table, in {!Database.tables} order. *)
+
+(** {2 The catalog} *)
+
+val lookup : Table.t -> table_stats option
+(** Whatever the catalog holds for this table, fresh or stale. *)
+
+val fresh : Table.t -> table_stats option
+(** The stored entry only when its epoch matches the table's current
+    epoch — i.e. no mutation has happened since collection. *)
+
+val invalidate : Table.t -> unit
+val clear : unit -> unit
+
+(** {2 Estimation}
+
+    All estimates are row counts against the analyzed table (scale by
+    [ts_rows]); selectivities are fractions in [0, 1].  Sampled
+    statistics extrapolate: fractions observed in the sample are taken
+    as representative of the table. *)
+
+val selectivity : table_stats -> Predicate.t -> float
+(** Estimated fraction of the table's rows satisfying the predicate.
+    Equality uses the histogram (heavy hitters spanning whole buckets
+    are estimated at their spanned depth) or falls back to [1/ndv];
+    ranges interpolate histogram bucket positions (numeric bounds
+    interpolate within a bucket, other types split it); conjunctions
+    multiply, disjunctions combine independently, [Custom] and [Like]
+    get fixed defaults. *)
+
+val estimate_rows : table_stats -> Predicate.t -> float
+(** [ts_rows *. selectivity]. *)
+
+val estimate_eq : table_stats -> string -> Value.t -> float
+(** Estimated rows with [column = value]. *)
+
+val estimate_range : table_stats -> string -> Value.t option -> Value.t option -> float
+(** Estimated rows with [column] in the inclusive range ([None] =
+    unbounded on that side). *)
+
+(** {2 Rendering} *)
+
+val to_json : table_stats -> string
+(** One JSON object: table identity, staleness stamp, and per-column
+    summaries (histogram bounds rendered with {!Value.to_string}). *)
+
+val render : table_stats -> string
+(** Aligned per-column table for terminal display. *)

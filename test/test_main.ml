@@ -11,6 +11,8 @@ let () =
       ("util.table_fmt", Test_table_fmt.suite);
       ("util.crc32", Test_crc32.suite);
       ("obs.metrics", Test_obs.suite);
+      ("obs.hyperloglog", Test_hll.suite);
+      ("obs.timeseries", Test_timeseries.suite);
       ("obs.integration", Test_obs_integration.suite);
       ("util.faulty_io", Test_faulty_io.suite);
       ("relstore.codec", Test_relstore_codec.suite);
@@ -23,6 +25,8 @@ let () =
       ("relstore.sql", Test_relstore_sql.suite);
       ("relstore.query_plan", Test_query_plan.suite);
       ("relstore.profile", Test_profile.suite);
+      ("relstore.stats_catalog", Test_stats_catalog.suite);
+      ("relstore.slowlog", Test_slowlog.suite);
       ("relstore.corruption", Test_corruption.suite);
       ("textindex", Test_textindex.suite);
       ("graph.digraph", Test_digraph.suite);

@@ -1,0 +1,174 @@
+(* Telemetry ring tests.  Metrics live in process-global registries
+   shared with every other suite, so each assertion here works on
+   deltas between two points taken inside the test (never on absolute
+   counter values), and every global knob touched is restored. *)
+
+module Metrics = Provkit_obs.Metrics
+module Ts = Provkit_obs.Timeseries
+
+let with_metrics_enabled f =
+  let saved = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled saved) f
+
+let find_series name series =
+  List.find_opt (fun (s : Ts.series) -> String.equal s.Ts.s_name name) series
+
+let feq = Alcotest.float 1e-9
+
+let test_deltas_and_rates () =
+  with_metrics_enabled @@ fun () ->
+  let ring = Ts.create ~capacity:8 () in
+  let c = Metrics.counter "test.timeseries.alpha" in
+  let g = Metrics.gauge "test.timeseries.beta" in
+  let h = Metrics.histogram "test.timeseries.gamma" in
+  Metrics.incr c;
+  Metrics.set_gauge g 10.0;
+  let p0 = Ts.record ~now_ns:1_000_000_000L ring in
+  Metrics.add c 5;
+  Metrics.set_gauge g 4.0;
+  Metrics.observe h 123;
+  Metrics.observe h 456;
+  let p1 = Ts.record ~now_ns:3_000_000_000L ring in
+  let series = Ts.deltas_between p0 p1 in
+  (match find_series "test.timeseries.alpha" series with
+  | None -> Alcotest.fail "counter series missing"
+  | Some s ->
+      Alcotest.check feq "counter delta" 5.0 s.Ts.s_delta;
+      (* 5 increments over exactly 2 s of synthetic time. *)
+      Alcotest.check feq "counter rate" 2.5 s.Ts.s_rate);
+  (match find_series "test.timeseries.beta" series with
+  | None -> Alcotest.fail "gauge series missing"
+  | Some s ->
+      Alcotest.check feq "gauge prev" 10.0 s.Ts.s_prev;
+      Alcotest.check feq "gauge cur" 4.0 s.Ts.s_cur;
+      (* Gauges are levels, not monotone counters: deltas may go negative. *)
+      Alcotest.check feq "gauge delta" (-6.0) s.Ts.s_delta);
+  match find_series "test.timeseries.gamma" series with
+  | None -> Alcotest.fail "histogram series missing"
+  | Some s ->
+      Alcotest.check feq "histogram count delta" 2.0 s.Ts.s_delta;
+      Alcotest.check feq "histogram count rate" 1.0 s.Ts.s_rate
+
+let test_counter_reset_clamps () =
+  with_metrics_enabled @@ fun () ->
+  let ring = Ts.create () in
+  let c = Metrics.counter "test.timeseries.clamp" in
+  Metrics.add c 100;
+  let p0 = Ts.record ~now_ns:1_000_000_000L ring in
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter "test.timeseries.clamp");
+  let p1 = Ts.record ~now_ns:2_000_000_000L ring in
+  match find_series "test.timeseries.clamp" (Ts.deltas_between p0 p1) with
+  | None -> Alcotest.fail "series missing"
+  | Some s ->
+      Alcotest.check feq "reset clamps to 0" 0.0 s.Ts.s_delta;
+      Alcotest.check feq "rate clamps too" 0.0 s.Ts.s_rate
+
+let test_capacity_eviction () =
+  with_metrics_enabled @@ fun () ->
+  let ring = Ts.create ~capacity:3 () in
+  for i = 1 to 5 do
+    ignore (Ts.record ~now_ns:(Int64.of_int (i * 1_000_000)) ring)
+  done;
+  Alcotest.check Alcotest.int "bounded" 3 (Ts.length ring);
+  let stamps = List.map (fun (p : Ts.point) -> p.Ts.pt_ns) (Ts.points ring) in
+  Alcotest.(check (list int64)) "oldest evicted, order kept"
+    [ 3_000_000L; 4_000_000L; 5_000_000L ]
+    stamps;
+  Ts.clear ring;
+  Alcotest.check Alcotest.int "cleared" 0 (Ts.length ring);
+  match Ts.last_deltas ring with
+  | None -> ()
+  | Some _ -> Alcotest.fail "last_deltas on an empty ring"
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Timeseries.create: capacity must be positive") (fun () ->
+      ignore (Ts.create ~capacity:0 ()))
+
+let test_pulse_interval () =
+  with_metrics_enabled @@ fun () ->
+  let saved = Ts.pulse_interval () in
+  Fun.protect ~finally:(fun () -> Ts.set_pulse_interval saved) @@ fun () ->
+  Ts.set_pulse_interval 5;
+  let before = Ts.length Ts.default in
+  let pulses_before = Ts.pulses () in
+  for _ = 1 to 12 do
+    Ts.pulse ()
+  done;
+  Alcotest.check Alcotest.int "pulses counted" (pulses_before + 12) (Ts.pulses ());
+  let recorded = Ts.length Ts.default - before in
+  (* 12 pulses at interval 5 cross the boundary 2 or 3 times depending on
+     the global counter's residue coming into the test. *)
+  if recorded < 2 || recorded > 3 then
+    Alcotest.failf "expected 2-3 recorded points, got %d" recorded
+
+let test_pulse_disabled_is_silent () =
+  let saved = Metrics.enabled () in
+  Metrics.set_enabled false;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled saved) @@ fun () ->
+  let before = Ts.length Ts.default in
+  let pulses_before = Ts.pulses () in
+  for _ = 1 to 50 do
+    Ts.pulse ()
+  done;
+  Alcotest.check Alcotest.int "no points recorded" before (Ts.length Ts.default);
+  Alcotest.check Alcotest.int "no pulses counted" pulses_before (Ts.pulses ())
+
+let test_prometheus_exposition () =
+  with_metrics_enabled @@ fun () ->
+  let c = Metrics.counter "test.timeseries.promc" in
+  let g = Metrics.gauge "test.timeseries.promg" in
+  let h = Metrics.histogram "test.timeseries.promh" in
+  Metrics.add c 7;
+  Metrics.set_gauge g 42.0;
+  Metrics.observe h 1000;
+  let text = Ts.prometheus (Metrics.snapshot ()) in
+  let occurs needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+    go 0
+  in
+  let contains needle =
+    if not (occurs needle) then Alcotest.failf "exposition missing %S" needle
+  in
+  contains "# TYPE test_timeseries_promc counter";
+  contains "test_timeseries_promc 7";
+  contains "# TYPE test_timeseries_promg gauge";
+  contains "test_timeseries_promg 42";
+  contains "# TYPE test_timeseries_promh summary";
+  contains "test_timeseries_promh{quantile=\"0.5\"}";
+  contains "test_timeseries_promh_count 1";
+  (* Dots must be mangled: no raw dotted metric name survives. *)
+  if occurs "test.timeseries." then Alcotest.fail "unmangled metric name in exposition"
+
+let test_render_has_all_series () =
+  with_metrics_enabled @@ fun () ->
+  let ring = Ts.create () in
+  let c = Metrics.counter "test.timeseries.render" in
+  Metrics.incr c;
+  let p0 = Ts.record ~now_ns:1_000_000_000L ring in
+  Metrics.add c 3;
+  let p1 = Ts.record ~now_ns:2_000_000_000L ring in
+  let out = Ts.render (Ts.deltas_between p0 p1) in
+  if String.length out = 0 then Alcotest.fail "empty render";
+  match Ts.last_deltas ring with
+  | None -> Alcotest.fail "two points should yield deltas"
+  | Some series -> (
+      match find_series "test.timeseries.render" series with
+      | Some s -> Alcotest.check feq "last_deltas agrees" 3.0 s.Ts.s_delta
+      | None -> Alcotest.fail "series missing from last_deltas")
+
+let suite =
+  [
+    Alcotest.test_case "deltas and rates, hand-computed" `Quick test_deltas_and_rates;
+    Alcotest.test_case "counter reset clamps to zero" `Quick test_counter_reset_clamps;
+    Alcotest.test_case "capacity eviction keeps newest" `Quick test_capacity_eviction;
+    Alcotest.test_case "invalid capacity rejected" `Quick test_invalid_capacity;
+    Alcotest.test_case "pulse interval records points" `Quick test_pulse_interval;
+    Alcotest.test_case "pulse is silent when disabled" `Quick
+      test_pulse_disabled_is_silent;
+    Alcotest.test_case "prometheus exposition format" `Quick test_prometheus_exposition;
+    Alcotest.test_case "render and last_deltas" `Quick test_render_has_all_series;
+  ]

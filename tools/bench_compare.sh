@@ -13,6 +13,14 @@ baseline="${1:?usage: bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_P
 candidate="${2:?usage: bench_compare.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]}"
 threshold="${3:-15}"
 
+# First-run grace: with no baseline yet (file absent or empty) there is
+# nothing to regress against — report the skip and succeed, so a fresh
+# checkout can adopt the candidate as its first baseline.
+if [ ! -s "$baseline" ]; then
+  echo "bench_compare: no baseline at $baseline (first run?) — skipping comparison"
+  exit 0
+fi
+
 for f in "$baseline" "$candidate"; do
   if ! grep -q '"schema": "provkit-bench/1"' "$f"; then
     echo "bench_compare: $f is not a provkit-bench/1 artifact" >&2

@@ -25,7 +25,8 @@ grep -q '"ns_per_op":' "$work/base.json" ||
 # pair (incremental update vs cold rescan) must be present, and each
 # "after" side must beat its "before" side by at least 5x.
 for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched \
-           matview-update cold-rescan; do
+           matview-update cold-rescan \
+           stats-analyze estimate-error-heuristic estimate-error-stats; do
   grep -q "\"name\":\"$row\"" "$work/base.json" ||
     { echo "bench_smoke: artifact missing expected row $row"; exit 1; }
 done
@@ -38,6 +39,18 @@ check_speedup() {
 check_speedup hot-select-cold hot-select-cached
 check_speedup wal-ingest-unbatched wal-ingest-batched
 check_speedup cold-rescan matview-update
+
+# The estimate-error pair stores max error ratios (not latencies) in
+# ns_per_op: the stats-guided estimator must be strictly more accurate
+# than the heuristic on the skewed workload.
+heur_err="$(grep '"name":"estimate-error-heuristic"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+stats_err="$(grep '"name":"estimate-error-stats"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+awk -v h="$heur_err" -v s="$stats_err" 'BEGIN { exit !(s >= 1 && h > s) }' ||
+  { echo "bench_smoke: stats estimate error ($stats_err) not below heuristic ($heur_err)"; exit 1; }
+
+# First-run grace: a missing baseline must skip cleanly, not fail.
+bash "$here/bench_compare.sh" "$work/no_such_baseline.json" "$work/base.json" > /dev/null ||
+  { echo "bench_compare: missing baseline should be a clean skip"; exit 1; }
 
 bash "$here/bench_compare.sh" "$work/base.json" "$work/base.json" > /dev/null ||
   { echo "bench_smoke: self-comparison unexpectedly flagged a regression"; exit 1; }
