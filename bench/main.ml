@@ -448,6 +448,39 @@ let run_stats measured =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.9: provlint — full-tree analysis cost                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The lint pass is part of every `dune runtest` (and of editor loops
+   via @lint-v2-check), so its full-tree wall time is a developer-facing
+   latency.  One row keeps it visible in the telemetry artifact: a
+   parse-cache regression or an accidentally quadratic check shows up in
+   bench_compare.sh like any other slowdown.  The tree is located the
+   same way the lint integration test finds it (walk up from cwd); when
+   the bench runs somewhere without sources, a 0 ns row keeps the
+   artifact shape stable and bench_compare skips it. *)
+let rec find_lint_root dir depth =
+  if depth > 6 then None
+  else if Sys.file_exists (Filename.concat dir "lib/obs/names.ml") then Some dir
+  else find_lint_root (Filename.dirname dir) (depth + 1)
+
+let measure_lint () =
+  match find_lint_root (Sys.getcwd ()) 0 with
+  | None -> [ ("lint-full-tree", 0, 0.0) ]
+  | Some root ->
+    let iters = if quick then 2 else 5 in
+    let ns =
+      time_per_op iters 1 (fun () -> ignore (Provkit_lint.Driver.lint_tree ~root ()))
+    in
+    [ ("lint-full-tree", iters, ns) ]
+
+let run_lint measured =
+  print_endline "== provlint (full lib/ + bin/ tree, all checks; ns/pass) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "pass"; "ms/pass" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.1f" (ns /. 1e6) ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: experiment tables                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -480,7 +513,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~hot ~matview ~stats ~overhead =
+let write_artifact ~micro ~hot ~matview ~stats ~lint ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -499,7 +532,7 @@ let write_artifact ~micro ~hot ~matview ~stats ~overhead =
        (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
   Buffer.add_string buf "  \"rows\": [\n";
   let all_rows =
-    List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview @ stats
+    List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview @ stats @ lint
   in
   List.iteri
     (fun i (name, iters, ns) ->
@@ -544,7 +577,9 @@ let () =
   run_matview matview;
   let stats = measure_stats () in
   run_stats stats;
+  let lint = measure_lint () in
+  run_lint lint;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~overhead
+  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~lint ~overhead
   else run_experiments ()

@@ -1027,9 +1027,10 @@ let experiments_cmd =
 
 (* --- lint ------------------------------------------------------------ *)
 
-let lint root json =
+let lint root checks json =
   let module L = Provkit_lint.Driver in
-  let findings = L.lint_tree ~root () in
+  let checks = match checks with [] -> L.check_ids | cs -> cs in
+  let findings = L.lint_tree ~checks ~root () in
   if json then print_endline (L.render_json findings)
   else begin
     if findings <> [] then print_endline (L.render_text findings);
@@ -1043,6 +1044,14 @@ let lint_root_arg =
     value & opt string "."
     & info [ "root" ] ~docv:"DIR" ~doc:"Repository root containing lib/ and bin/.")
 
+let lint_check_arg =
+  let check_conv =
+    Arg.enum (List.map (fun (id, _) -> (id, id)) Provkit_lint.Driver.all_checks)
+  in
+  Arg.(
+    value & opt_all check_conv []
+    & info [ "check" ] ~docv:"ID" ~doc:"Run only this check (repeatable; default: all).")
+
 let lint_json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON, one object per line.")
 
@@ -1050,7 +1059,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the provlint static checks over lib/ and bin/ (see LINTING.md)")
-    Term.(const lint $ lint_root_arg $ lint_json_arg)
+    Term.(const lint $ lint_root_arg $ lint_check_arg $ lint_json_arg)
 
 let () =
   (* Flight-recorder wiring: injected faults and uncaught exceptions

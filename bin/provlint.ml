@@ -20,9 +20,20 @@ let check_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON, one object per line.")
 
+let sarif_arg =
+  Arg.(
+    value & flag
+    & info [ "sarif" ] ~doc:"Emit findings as SARIF 2.1.0, one result object per line.")
+
+let timing_arg =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:"Report per-check wall time on stderr (stdout stays parseable).")
+
 let list_arg = Arg.(value & flag & info [ "list-checks" ] ~doc:"List check ids and exit.")
 
-let run root checks json list_checks =
+let run root checks json sarif timing list_checks =
   if list_checks then begin
     List.iter
       (fun (id, doc) -> Printf.printf "%-20s %s\n" id doc)
@@ -31,13 +42,15 @@ let run root checks json list_checks =
   end
   else begin
     let checks = match checks with [] -> Provkit_lint.Driver.check_ids | cs -> cs in
-    let findings = Provkit_lint.Driver.lint_tree ~checks ~root () in
-    if json then print_endline (Provkit_lint.Driver.render_json findings)
+    let findings, timings = Provkit_lint.Driver.lint_tree_timed ~checks ~root () in
+    if sarif then print_endline (Provkit_lint.Driver.render_sarif findings)
+    else if json then print_endline (Provkit_lint.Driver.render_json findings)
     else begin
       if findings <> [] then print_endline (Provkit_lint.Driver.render_text findings);
       Printf.eprintf "provlint: %d finding(s) in %d file(s)\n" (List.length findings)
         (List.length (Provkit_lint.Driver.tree_files ~root))
     end;
+    if timing then Printf.eprintf "%s\n" (Provkit_lint.Driver.render_timings timings);
     if findings = [] then 0 else 1
   end
 
@@ -45,6 +58,6 @@ let cmd =
   Cmd.v
     (Cmd.info "provlint" ~version:"1.0.0"
        ~doc:"AST-accurate static analysis for the browser-provenance tree")
-    Term.(const run $ root_arg $ check_arg $ json_arg $ list_arg)
+    Term.(const run $ root_arg $ check_arg $ json_arg $ sarif_arg $ timing_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

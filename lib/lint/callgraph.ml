@@ -1,0 +1,201 @@
+(* Cross-module call graph over Parsetree: every top-level (and
+   nested-module) value binding in the linted file set becomes a node,
+   and identifier references resolve to candidate definitions.  The
+   resolver is deliberately an over-approximation — an ambiguous name
+   resolves to every candidate — because the dataflow checks built on
+   top only ever use it to *exonerate* code (a call that might bump the
+   epoch counts as bumping), never to convict it.
+
+   Resolution rules, in order:
+   - unqualified [f] resolves within the referencing file: the latest
+     binding of that name at or before the use line wins (shadowing);
+     if none precedes, the earliest later one does ([let rec ... and]
+     forward references);
+   - qualified [M.f] first tries a module [M] nested in the same file,
+     then the file whose capitalized basename is [M]; a leading alias
+     ([module U = Webmodel.Url]) is expanded first. *)
+
+open Parsetree
+
+type fn = {
+  fn_file : string;  (* root-relative path of the defining file *)
+  fn_path : string list;  (* enclosing module path inside the file *)
+  fn_name : string;
+  fn_line : int;
+  fn_expr : expression;  (* the binding's right-hand side, params included *)
+}
+
+type t = {
+  fns : fn list;
+  by_file : (string, fn list) Hashtbl.t;
+  by_module : (string, string list) Hashtbl.t;  (* Module -> defining files *)
+  aliases : (string, (string * string) list) Hashtbl.t;
+      (* file -> [alias, last component of the aliased path] *)
+}
+
+let module_of_file rel =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename rel))
+
+let rec binding_name pat =
+  match pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+let collect_file file structure =
+  let fns = ref [] in
+  let aliases = ref [] in
+  let rec items path its = List.iter (item path) its
+  and item path it =
+    match it.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          match binding_name vb.pvb_pat with
+          | Some name ->
+            fns :=
+              {
+                fn_file = file;
+                fn_path = path;
+                fn_name = name;
+                fn_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+                fn_expr = vb.pvb_expr;
+              }
+              :: !fns
+          | None -> ())
+        vbs
+    | Pstr_module mb -> module_binding path mb
+    | Pstr_recmodule mbs -> List.iter (module_binding path) mbs
+    | _ -> ()
+  and module_binding path mb =
+    let name = match mb.pmb_name.Location.txt with Some n -> n | None -> "_" in
+    mod_expr path name mb.pmb_expr
+  and mod_expr path name me =
+    match me.pmod_desc with
+    | Pmod_structure s -> items (path @ [ name ]) s
+    | Pmod_ident { txt = lid; _ } -> begin
+      match List.rev (Longident.flatten lid) with
+      | last :: _ -> aliases := (name, last) :: !aliases
+      | [] -> ()
+    end
+    | Pmod_constraint (me, _) -> mod_expr path name me
+    | _ -> ()
+  in
+  items [] structure;
+  (List.rev !fns, List.rev !aliases)
+
+let build parsed =
+  let by_file = Hashtbl.create 64 in
+  let by_module = Hashtbl.create 64 in
+  let aliases = Hashtbl.create 64 in
+  let fns =
+    List.concat_map
+      (fun (file, structure) ->
+        let fs, als = collect_file file structure in
+        Hashtbl.replace by_file file fs;
+        Hashtbl.replace aliases file als;
+        let m = module_of_file file in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_module m) in
+        Hashtbl.replace by_module m (prev @ [ file ]);
+        fs)
+      parsed
+  in
+  { fns; by_file; by_module; aliases }
+
+let file_fns t file = Option.value ~default:[] (Hashtbl.find_opt t.by_file file)
+
+let alias_target t file name =
+  List.assoc_opt name (Option.value ~default:[] (Hashtbl.find_opt t.aliases file))
+
+let resolve t ~file ~line lid =
+  match List.rev (Longident.flatten lid) with
+  | [] -> []
+  | [ name ] ->
+    let same = List.filter (fun f -> f.fn_name = name) (file_fns t file) in
+    let before = List.filter (fun f -> f.fn_line <= line) same in
+    (match List.rev before with
+    | latest :: _ -> [ latest ]
+    | [] -> ( match same with first :: _ -> [ first ] | [] -> []))
+  | name :: rev_mods ->
+    let mods =
+      match List.rev rev_mods with
+      | head :: tl -> begin
+        match alias_target t file head with Some tgt -> tgt :: tl | None -> head :: tl
+      end
+      | [] -> []
+    in
+    let last_mod = match List.rev mods with m :: _ -> m | [] -> "" in
+    let nested =
+      List.filter
+        (fun f -> f.fn_name = name && f.fn_path <> [] && List.mem last_mod f.fn_path)
+        (file_fns t file)
+    in
+    if nested <> [] then nested
+    else
+      List.concat_map
+        (fun tgt ->
+          List.filter (fun f -> f.fn_name = name && f.fn_path = []) (file_fns t tgt))
+        (Option.value ~default:[] (Hashtbl.find_opt t.by_module last_mod))
+
+(* --- reference extraction --- *)
+
+let idents expr =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> acc := (txt, loc) :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it expr;
+  List.rev !acc
+
+let calls expr =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) ->
+            acc := (txt, loc) :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it expr;
+  List.rev !acc
+
+(* --- reachability --- *)
+
+let fn_key f =
+  f.fn_file ^ ":" ^ String.concat "." f.fn_path ^ ":" ^ f.fn_name ^ ":"
+  ^ string_of_int f.fn_line
+
+(* Every definition reachable from the seed expressions, following every
+   identifier reference (not just applied heads): a function passed as a
+   value to a combinator still runs. *)
+let reachable t seeds =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec visit_fn f =
+    let k = fn_key f in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      out := f :: !out;
+      visit_expr f.fn_file f.fn_expr
+    end
+  and visit_expr file e =
+    List.iter
+      (fun (lid, (loc : Location.t)) ->
+        List.iter visit_fn (resolve t ~file ~line:loc.loc_start.Lexing.pos_lnum lid))
+      (idents e)
+  in
+  List.iter (fun (file, e) -> visit_expr file e) seeds;
+  List.rev !out

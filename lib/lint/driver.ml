@@ -9,15 +9,32 @@ let all_checks =
     (Check_io.id, "lib/ reaches Unix only through Faulty_io and Timing");
     (Check_banned.id, "no Obj.magic, lib/ printf, polymorphic Value compare, catch-all handler");
     (Check_obs.id, "metric-name literals and the lib/obs/names.ml registry agree both ways");
+    (Check_epoch.id, "every table mutation bumps the modification epoch on every path");
+    (Check_wal.id, "WAL appends reach a commit point; close/rotate/compact flush pending first");
+    (Check_matview.id, "view folds stay deterministic: no Faulty_io/Timing/Random/printing/globals");
+    (Check_shared_state.id, "toplevel mutable state in lib/ is declared in the shared-state manifest");
   ]
 
 let check_ids = List.map fst all_checks
 
-let per_file_checks ~file structure =
-  Check_codec.run ~file structure
-  @ Check_match.run ~file structure
-  @ Check_io.run ~file structure
-  @ Check_banned.run ~file structure
+(* Per-file checks see one structure at a time (and power lint_source);
+   cross-file checks see the whole parsed set. *)
+let per_file_runners =
+  [
+    (Check_codec.id, Check_codec.run);
+    (Check_match.id, Check_match.run);
+    (Check_io.id, Check_io.run);
+    (Check_banned.id, Check_banned.run);
+    (Check_epoch.id, Check_epoch.run);
+    (Check_wal.id, Check_wal.run);
+  ]
+
+let cross_file_runners =
+  [
+    (Check_obs.id, Check_obs.run);
+    (Check_matview.id, Check_matview.run);
+    (Check_shared_state.id, fun parsed -> Check_shared_state.run parsed);
+  ]
 
 (* --- tree walking --- *)
 
@@ -64,30 +81,57 @@ let finish ~checks per_file_findings parsed =
   in
   List.sort_uniq Finding.compare kept
 
-let lint_files ?(checks = check_ids) ~root rels =
+let lint_files_timed ?(checks = check_ids) ~root rels =
+  let timings = ref [] in
+  let timed id f =
+    let t0 = Sys.time () in
+    let r = f () in
+    timings := (id, Sys.time () -. t0) :: !timings;
+    r
+  in
   let parsed, parse_findings =
-    List.fold_left
-      (fun (parsed, errs) rel ->
-        match Source.parse_string ~filename:rel (Source.read_file (Filename.concat root rel)) with
-        | Ok structure -> ((rel, structure) :: parsed, errs)
-        | Error f -> (parsed, f :: errs))
-      ([], []) rels
+    timed "parse" (fun () ->
+        List.fold_left
+          (fun (parsed, errs) rel ->
+            match
+              Source.parse_string ~filename:rel (Source.read_file (Filename.concat root rel))
+            with
+            | Ok structure -> ((rel, structure) :: parsed, errs)
+            | Error f -> (parsed, f :: errs))
+          ([], []) rels)
   in
   let parsed = List.rev parsed in
-  let findings =
-    List.concat_map (fun (rel, structure) -> per_file_checks ~file:rel structure) parsed
-    @ (if List.mem Check_obs.id checks then Check_obs.run parsed else [])
-    @ parse_findings
+  let per_file_findings =
+    List.concat_map
+      (fun (id, run) ->
+        if List.mem id checks then
+          timed id (fun () ->
+              List.concat_map (fun (rel, structure) -> run ~file:rel structure) parsed)
+        else [])
+      per_file_runners
   in
-  finish ~checks findings parsed
+  let cross_file_findings =
+    List.concat_map
+      (fun (id, run) -> if List.mem id checks then timed id (fun () -> run parsed) else [])
+      cross_file_runners
+  in
+  let findings = per_file_findings @ cross_file_findings @ parse_findings in
+  (finish ~checks findings parsed, List.rev !timings)
 
-let lint_tree ?checks ~root () = lint_files ?checks ~root (tree_files ~root)
+let lint_files ?checks ~root rels = fst (lint_files_timed ?checks ~root rels)
+let lint_tree_timed ?checks ~root () = lint_files_timed ?checks ~root (tree_files ~root)
+let lint_tree ?checks ~root () = fst (lint_tree_timed ?checks ~root ())
 
 let lint_source ?(checks = check_ids) ~filename source =
   match Source.parse_string ~filename source with
   | Error f -> [ f ]
   | Ok structure ->
-    finish ~checks (per_file_checks ~file:filename structure) [ (filename, structure) ]
+    let findings =
+      List.concat_map
+        (fun (id, run) -> if List.mem id checks then run ~file:filename structure else [])
+        per_file_runners
+    in
+    finish ~checks findings [ (filename, structure) ]
 
 (* --- rendering --- *)
 
@@ -97,3 +141,25 @@ let render_json findings =
   match findings with
   | [] -> "[]"
   | fs -> "[\n" ^ String.concat ",\n" (List.map Finding.to_json fs) ^ "\n]"
+
+(* Minimal SARIF 2.1.0: one run, the check catalogue as rules, one
+   result object per line (the gate greps result lines textually, like
+   the JSON format). *)
+let render_sarif findings =
+  let rules =
+    String.concat ","
+      (List.map
+         (fun (id, desc) ->
+           Printf.sprintf {|{"id":"%s","shortDescription":{"text":"%s"}}|}
+             (Finding.json_escape id) (Finding.json_escape desc))
+         all_checks)
+  in
+  let results = List.map Finding.to_sarif findings in
+  Printf.sprintf
+    "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"provlint\",\"rules\":[%s]}},\"results\":[%s]}]}"
+    rules
+    (match results with [] -> "" | rs -> "\n" ^ String.concat ",\n" rs ^ "\n")
+
+let render_timings timings =
+  String.concat "\n"
+    (List.map (fun (id, s) -> Printf.sprintf "%-22s %8.1f ms" id (s *. 1000.)) timings)

@@ -12,19 +12,36 @@ val tree_files : root:string -> string list
     root-relative paths. *)
 
 val lint_files : ?checks:string list -> root:string -> string list -> Finding.t list
-(** Lint the given root-relative files.  Cross-file checks (obs-names)
-    see exactly this file set. *)
+(** Lint the given root-relative files.  Cross-file checks (obs-names,
+    matview-purity, shared-state-registry) see exactly this file set. *)
+
+val lint_files_timed :
+  ?checks:string list -> root:string -> string list -> Finding.t list * (string * float) list
+(** [lint_files] plus per-stage wall time in seconds: one ["parse"]
+    entry for the (cached) parsing front end, then one entry per
+    selected check, in run order.  Backs [provlint --timing] and the
+    [lint-full-tree] bench row. *)
 
 val lint_tree : ?checks:string list -> root:string -> unit -> Finding.t list
 (** [lint_files] over [tree_files]. *)
 
+val lint_tree_timed :
+  ?checks:string list -> root:string -> unit -> Finding.t list * (string * float) list
+
 val lint_source : ?checks:string list -> filename:string -> string -> Finding.t list
 (** Lint one in-memory source.  [filename] drives file classification
-    (lib/ vs bin/, codec module, sanctioned I/O layer); cross-file
-    checks do not run.  Used by the fixture tests. *)
+    (lib/ vs bin/, codec module, the epoch/WAL dataflow scopes); only
+    per-file checks run.  Used by the fixture tests. *)
 
 val render_text : Finding.t list -> string
 
 val render_json : Finding.t list -> string
 (** A JSON array with one finding object per line — the stable format
     tools/lint_gate.sh diffs against the committed baseline. *)
+
+val render_sarif : Finding.t list -> string
+(** A minimal SARIF 2.1.0 log: one run, the check catalogue as rules,
+    one result object per line so the gate can diff this format too. *)
+
+val render_timings : (string * float) list -> string
+(** Human-readable per-check wall time (ms), for [provlint --timing]. *)

@@ -53,3 +53,12 @@ let to_json f =
     {|{"check":"%s","file":"%s","line":%d,"col":%d,"severity":"%s","message":"%s"}|}
     (json_escape f.check) (json_escape f.file) f.line f.col
     (severity_name f.severity) (json_escape f.message)
+
+(* One SARIF result object, kept to a single line for the same reason
+   [to_json] is: the baseline gate diffs output textually.  Columns are
+   1-based in SARIF, 0-based here. *)
+let to_sarif f =
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (json_escape f.check) (severity_name f.severity) (json_escape f.message)
+    (json_escape f.file) f.line (f.col + 1)

@@ -26,3 +26,12 @@ val to_string : t -> string
 val to_json : t -> string
 (** A single-line JSON object; one finding per line so the baseline
     gate can diff output textually. *)
+
+val to_sarif : t -> string
+(** A single-line SARIF 2.1.0 result object (1-based columns), embedded
+    by {!Driver.render_sarif} — one result per line for the same
+    textual-diff reason as {!to_json}. *)
+
+val json_escape : string -> string
+(** The deterministic, dependency-free JSON string escaping shared by
+    every renderer. *)

@@ -68,6 +68,67 @@ let in_lib rel = has_prefix ~prefix:"lib/" rel
 let in_bin rel = has_prefix ~prefix:"bin/" rel
 let is_metric_names_file rel = has_suffix ~suffix:"obs/names.ml" rel
 
+(* --- dataflow checks (epoch-discipline / wal-durability /
+       matview-purity / shared-state-registry) --- *)
+
+(* Functions that always raise: paths ending in one of these are exempt
+   from must-reach obligations (an insert that bails out with a
+   constraint violation owes nobody an epoch bump). *)
+let raising_names =
+  [
+    "raise"; "raise_notrace"; "failwith"; "invalid_arg";
+    (* Relstore.Errors — kasprintf-wrapped raises *)
+    "corrupt"; "constraint_violation"; "arity_mismatch"; "type_mismatch";
+  ]
+
+(* Combinators whose function-literal argument runs synchronously, so
+   must-reach descends into it: [Obs.Trace.with_span name (fun () ->
+   flush ...)] still flushes on the way through. *)
+let call_through_names = [ "with_span"; "protect"; "time" ]
+
+(* epoch-discipline: the one file whose mutations must bump the
+   modification epoch that validates the query cache / matviews /
+   statistics catalog. *)
+let epoch_file = "lib/relstore/table.ml"
+let epoch_field = "epoch"
+
+(* Hashtbl operations that mutate (state-changing evidence for the
+   epoch check and for matview-purity's toplevel-state rule). *)
+let mutating_table_ops =
+  [
+    ("Hashtbl", [ "replace"; "remove"; "add"; "reset"; "clear"; "filter_map_inplace" ]);
+    ("Array", [ "set"; "fill"; "blit" ]);
+    ("Bytes", [ "set"; "fill"; "blit" ]);
+    ("Queue", [ "push"; "add"; "pop"; "take"; "clear" ]);
+    ("Stack", [ "push"; "pop"; "clear" ]);
+    ("Buffer", [ "add_string"; "add_char"; "add_bytes"; "clear"; "reset" ]);
+  ]
+
+let is_mutating_op ~module_ ~name =
+  match List.assoc_opt module_ mutating_table_ops with
+  | Some ops -> List.mem name ops
+  | None -> false
+
+(* wal-durability: scope and vocabulary of the segmented WAL. *)
+let wal_file = "lib/core/prov_log.ml"
+let wal_module = "Segmented"
+let wal_sink_modules = [ "Fio"; "Faulty_io" ]
+let wal_flush_names = [ "flush" ]
+let wal_close_names = [ "close" ]
+let wal_write_names = [ "write" ]
+let wal_pending_fields = [ "pending_ops"; "pending_bytes" ]
+let wal_active_field = "active"
+
+(* matview-purity: modules a view fold may never reach (recovery refolds
+   the stream — nondeterminism or fault injection would make the rebuilt
+   view diverge from the cold recomputation) and the impure subset of
+   the printing API (sprintf/asprintf build strings and stay legal). *)
+let matview_banned_modules = [ "Faulty_io"; "Timing"; "Random" ]
+
+let matview_banned_prints =
+  [ "printf"; "eprintf"; "fprintf"; "print_endline"; "print_string"; "print_newline";
+    "prerr_endline" ]
+
 (* --- metric-name shape (obs-names) --- *)
 
 (* A registered metric name is "prov." followed by at least two more

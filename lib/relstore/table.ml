@@ -188,6 +188,12 @@ let deserialize s pos =
     let columns = List.init ncols (fun _ -> Codec.read_string s pos) in
     add_index ~unique t ~name:iname ~columns
   done;
+  (* The loads above replaced rows and rewrote next_id without going
+     through insert, so the epoch never moved: a cache or view keyed to
+     (uid, 0) would treat the freshly loaded table as unchanged.  The
+     uid being fresh makes that unlikely today, but nothing type-checks
+     that assumption — bump unconditionally. *)
+  bump t;
   t
 
 (* Exact byte length of [serialize]'s output; the buffer round trip

@@ -1,0 +1,127 @@
+(* Callgraph unit suite: binding collection, qualified/unqualified
+   resolution (aliases, nested modules, shadowing, [let rec ... and]
+   forward references) and reachability over in-memory sources. *)
+
+module Callgraph = Provkit_lint.Callgraph
+module Source = Provkit_lint.Source
+
+let parse ~filename src =
+  match Source.parse_string ~filename src with
+  | Ok structure -> (filename, structure)
+  | Error f -> Alcotest.failf "fixture does not parse: %s" (Provkit_lint.Finding.to_string f)
+
+let names fns = List.map (fun f -> f.Callgraph.fn_name) fns
+
+let fixture_alpha =
+  {|
+let base x = x + 1
+let twice x = base (base x)
+module Inner = struct
+  let hidden y = y * 2
+end
+|}
+
+let fixture_beta =
+  {|
+module A = Webmodel.Alpha
+let local z = z
+let uses_alias z = A.twice (local z)
+let f q = q
+let caller1 () = f 1
+let f q = q + 1
+let caller2 () = f 2
+let rec even n = if n = 0 then true else odd (n - 1)
+and odd n = if n = 0 then false else even (n - 1)
+|}
+
+let graph () =
+  Callgraph.build
+    [ parse ~filename:"lib/webmodel/alpha.ml" fixture_alpha;
+      parse ~filename:"lib/core/beta.ml" fixture_beta ]
+
+let collects_bindings () =
+  let g = graph () in
+  let alpha = Callgraph.file_fns g "lib/webmodel/alpha.ml" in
+  Alcotest.(check (list string)) "alpha bindings in order" [ "base"; "twice"; "hidden" ]
+    (names alpha);
+  let hidden = List.find (fun f -> f.Callgraph.fn_name = "hidden") alpha in
+  Alcotest.(check (list string)) "nested module path" [ "Inner" ] hidden.Callgraph.fn_path
+
+let resolves_qualified_via_alias () =
+  let g = graph () in
+  let fns =
+    Callgraph.resolve g ~file:"lib/core/beta.ml" ~line:4
+      (Longident.Ldot (Longident.Lident "A", "twice"))
+  in
+  Alcotest.(check (list string)) "A.twice -> alpha.ml twice" [ "twice" ] (names fns);
+  Alcotest.(check string) "defined in alpha.ml" "lib/webmodel/alpha.ml"
+    (List.hd fns).Callgraph.fn_file
+
+let resolves_unqualified_same_file () =
+  let g = graph () in
+  let fns =
+    Callgraph.resolve g ~file:"lib/core/beta.ml" ~line:4 (Longident.Lident "local")
+  in
+  Alcotest.(check (list string)) "local resolves in-file" [ "local" ] (names fns)
+
+let resolves_shadowing () =
+  let g = graph () in
+  let at line =
+    match Callgraph.resolve g ~file:"lib/core/beta.ml" ~line (Longident.Lident "f") with
+    | [ f ] -> f.Callgraph.fn_line
+    | other -> Alcotest.failf "expected one candidate, got %d" (List.length other)
+  in
+  (* caller1 (line 6) sees the f bound on line 5; caller2 (line 8) sees
+     the rebinding on line 7. *)
+  Alcotest.(check int) "before rebinding" 5 (at 6);
+  Alcotest.(check int) "after rebinding" 7 (at 8)
+
+let resolves_forward_reference () =
+  let g = graph () in
+  (* [even] (line 9) calls [odd] (line 10): no binding precedes the use
+     line, so resolution falls back to the earliest one. *)
+  let fns = Callgraph.resolve g ~file:"lib/core/beta.ml" ~line:9 (Longident.Lident "odd") in
+  Alcotest.(check (list string)) "and-bound forward ref" [ "odd" ] (names fns)
+
+let resolves_nested_module () =
+  let g = graph () in
+  let fns =
+    Callgraph.resolve g ~file:"lib/webmodel/alpha.ml" ~line:7
+      (Longident.Ldot (Longident.Lident "Inner", "hidden"))
+  in
+  Alcotest.(check (list string)) "Inner.hidden resolves" [ "hidden" ] (names fns)
+
+let unresolved_is_empty () =
+  let g = graph () in
+  Alcotest.(check int) "stdlib modules resolve to nothing" 0
+    (List.length
+       (Callgraph.resolve g ~file:"lib/core/beta.ml" ~line:4
+          (Longident.Ldot (Longident.Lident "List", "map"))))
+
+let reachability_crosses_files_and_recursion () =
+  let g = graph () in
+  let beta = Callgraph.file_fns g "lib/core/beta.ml" in
+  let seed f = List.find (fun fn -> fn.Callgraph.fn_name = f) beta in
+  let reach seed_name =
+    names (Callgraph.reachable g [ ((seed seed_name).Callgraph.fn_file, (seed seed_name).Callgraph.fn_expr) ])
+  in
+  let from_alias = reach "uses_alias" in
+  Alcotest.(check bool) "reaches twice across the alias" true (List.mem "twice" from_alias);
+  Alcotest.(check bool) "reaches base transitively" true (List.mem "base" from_alias);
+  Alcotest.(check bool) "reaches the local helper" true (List.mem "local" from_alias);
+  let from_even = reach "even" in
+  Alcotest.(check bool) "mutual recursion reaches odd" true (List.mem "odd" from_even);
+  Alcotest.(check bool) "and back to even without looping" true (List.mem "even" from_even)
+
+let suite =
+  [
+    Alcotest.test_case "collects bindings incl. nested modules" `Quick collects_bindings;
+    Alcotest.test_case "qualified resolution through alias" `Quick resolves_qualified_via_alias;
+    Alcotest.test_case "unqualified same-file resolution" `Quick resolves_unqualified_same_file;
+    Alcotest.test_case "shadowing picks the latest prior binding" `Quick resolves_shadowing;
+    Alcotest.test_case "let rec/and forward reference" `Quick resolves_forward_reference;
+    Alcotest.test_case "nested module resolution" `Quick resolves_nested_module;
+    Alcotest.test_case "unknown modules resolve to nothing" `Quick unresolved_is_empty;
+    Alcotest.test_case "reachability crosses files, handles cycles" `Quick
+      reachability_crosses_files_and_recursion;
+  ]

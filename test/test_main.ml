@@ -47,4 +47,6 @@ let () =
       ("core.retention", Test_retention.suite);
       ("harness", Test_harness.suite);
       ("lint", Test_provlint.suite);
+      ("lint.callgraph", Test_callgraph.suite);
+      ("lint.dataflow", Test_dataflow.suite);
     ]

@@ -311,6 +311,260 @@ let b = "prov.fixture.also_stray"
            provlint_found))
     grep_found
 
+(* --- epoch-discipline ------------------------------------------------ *)
+
+let epoch_fixture =
+  {|
+let bump t = t.epoch <- t.epoch + 1
+let good t k v = Hashtbl.replace t.rows k v; bump t
+let bad t k = Hashtbl.remove t.rows k
+let branchy t k v = if Hashtbl.mem t.rows k then Hashtbl.replace t.rows k v else bump t
+let loopy t ks = List.iter (fun k -> Hashtbl.remove t.rows k; bump t) ks
+let guarded t k v =
+  if k < 0 then invalid_arg "guarded"
+  else begin Hashtbl.replace t.rows k v; t.epoch <- t.epoch + 1 end
+|}
+
+let epoch_flagging () =
+  let fs = lint ~filename:"lib/relstore/table.ml" epoch_fixture in
+  (* [bad] never bumps; [branchy]'s then-branch mutates without bumping;
+     [loopy]'s bump sits in a may-run-zero-times loop body.  [good]
+     bumps through a callee and [guarded]'s raising path is exempt. *)
+  check_count "bad + branchy + loopy" "epoch-discipline" 3 fs;
+  let flags name =
+    List.exists
+      (fun f -> Provkit_util.Strutil.contains_substring ~needle:(name ^ " mutates") f.Finding.message)
+      fs
+  in
+  Alcotest.(check bool) "flags bad" true (flags "bad");
+  Alcotest.(check bool) "flags branchy" true (flags "branchy");
+  Alcotest.(check bool) "flags loopy" true (flags "loopy");
+  Alcotest.(check bool) "good (bumps via callee) is clean" false (flags "good");
+  Alcotest.(check bool) "guarded (raising path) is clean" false (flags "guarded")
+
+let epoch_suppressed () =
+  let src =
+    {|
+let bump t = t.epoch <- t.epoch + 1
+let good t k v = Hashtbl.replace t.rows k v; bump t
+let bad t k = Hashtbl.remove t.rows k [@@provlint.allow "epoch-discipline"]
+|}
+  in
+  check_count "suppressed" "epoch-discipline" 0 (lint ~filename:"lib/relstore/table.ml" src)
+
+let epoch_scoped_to_table () =
+  check_count "only lib/relstore/table.ml is in scope" "epoch-discipline" 0
+    (lint ~filename:"lib/relstore/other.ml" epoch_fixture)
+
+(* --- wal-durability -------------------------------------------------- *)
+
+let wal_fixture =
+  {|
+module Segmented = struct
+  module Fio = Provkit_util.Faulty_io
+  let flush_pending h =
+    if h.pending_ops > 0 then begin
+      Fio.flush h.active;
+      h.pending_ops <- 0;
+      h.pending_bytes <- 0
+    end
+  let maybe_commit h = if h.pending_ops > 64 then flush_pending h
+  let start_segment h = h.active <- Fio.open_out "seg"
+  let good_append h n =
+    Fio.write h.active "x";
+    h.pending_ops <- h.pending_ops + 1;
+    h.pending_bytes <- h.pending_bytes + n;
+    maybe_commit h
+  let bad_append h n =
+    Fio.write h.active "x";
+    h.pending_ops <- h.pending_ops + 1;
+    h.pending_bytes <- h.pending_bytes + n
+  let good_close h = flush_pending h; Fio.close h.active
+  let bad_close h = Fio.close h.active
+  let good_rotate h =
+    flush_pending h;
+    Fio.close h.active;
+    start_segment h;
+    Fio.write h.active "hdr"
+  let bad_reuse h =
+    flush_pending h;
+    Fio.close h.active;
+    Fio.write h.active "trailer"
+end
+let loose h = Fio.close h.active
+|}
+
+let wal_flagging () =
+  let fs = lint ~filename:"lib/core/prov_log.ml" wal_fixture in
+  check_count "bad_append + bad_close + bad_reuse" "wal-durability" 3 fs;
+  let flags name needle =
+    List.exists
+      (fun f ->
+        Provkit_util.Strutil.contains_substring ~needle:name f.Finding.message
+        && Provkit_util.Strutil.contains_substring ~needle f.Finding.message)
+      fs
+  in
+  Alcotest.(check bool) "bad_append misses a commit point" true
+    (flags "bad_append" "commit point");
+  Alcotest.(check bool) "bad_close skips the flush" true
+    (flags "bad_close" "without flushing");
+  Alcotest.(check bool) "bad_reuse writes after close" true
+    (flags "bad_reuse" "after closing");
+  (* [good_rotate] reopens between close and write; [loose] sits outside
+     [Segmented] and shares a name with nothing the rules own. *)
+  Alcotest.(check bool) "good_rotate is clean" false (flags "good_rotate" "");
+  Alcotest.(check bool) "loose close outside Segmented is out of scope" false
+    (flags "loose" "")
+
+let wal_suppressed () =
+  let src =
+    {|
+module Segmented = struct
+  module Fio = Provkit_util.Faulty_io
+  let bad_append h =
+    Fio.write h.active "x";
+    h.pending_ops <- h.pending_ops + 1
+    [@@provlint.allow "wal-durability"]
+  let bad_close h = Fio.close h.active [@@provlint.allow "wal-durability"]
+end
+|}
+  in
+  check_count "suppressed" "wal-durability" 0 (lint ~filename:"lib/core/prov_log.ml" src)
+
+let wal_scoped_to_prov_log () =
+  check_count "only lib/core/prov_log.ml is in scope" "wal-durability" 0
+    (lint ~filename:"lib/core/other.ml" wal_fixture)
+
+(* --- matview-purity (cross-file, on a scratch tree) ------------------- *)
+
+let matview_flagging () =
+  let root =
+    scratch_tree "matview_flag"
+      [
+        ( "lib/views.ml",
+          {|
+let tick = ref 0
+let helper ev = Printf.printf "ev %d" ev; ev
+let impure =
+  { init = 0;
+    fold = (fun acc ev -> incr tick; acc + helper ev + Random.int 3);
+    finalize = (fun acc -> acc) }
+|} );
+      ]
+  in
+  let fs = Driver.lint_files ~checks:[ "matview-purity" ] ~root [ "lib/views.ml" ] in
+  check_count "global incr + transitive printf + Random" "matview-purity" 3 fs;
+  let has needle =
+    List.exists (fun f -> Provkit_util.Strutil.contains_substring ~needle f.Finding.message) fs
+  in
+  Alcotest.(check bool) "flags the toplevel-ref mutation" true (has "tick");
+  Alcotest.(check bool) "flags the print reached through helper" true (has "prints");
+  Alcotest.(check bool) "flags Random" true (has "Random.int")
+
+let matview_accumulator_ok () =
+  let root =
+    scratch_tree "matview_ok"
+      [
+        ( "lib/views.ml",
+          {|
+let spec =
+  { init = Hashtbl.create 8;
+    fold = (fun acc ev -> Hashtbl.replace acc ev true; acc);
+    finalize = Hashtbl.length }
+|} );
+      ]
+  in
+  check_count "mutating the fold's own accumulator is fine" "matview-purity" 0
+    (Driver.lint_files ~checks:[ "matview-purity" ] ~root [ "lib/views.ml" ])
+
+let matview_suppressed () =
+  let root =
+    scratch_tree "matview_supp"
+      [
+        ( "lib/views.ml",
+          {|
+let tick = ref 0
+let helper ev = Printf.printf "ev %d" ev; ev [@@provlint.allow "matview-purity"]
+let impure =
+  { init = 0;
+    fold = (fun acc ev -> incr tick; acc + helper ev + Random.int 3);
+    finalize = (fun acc -> acc) }
+  [@@provlint.allow "matview-purity"]
+|} );
+      ]
+  in
+  check_count "suppressed" "matview-purity" 0
+    (Driver.lint_files ~checks:[ "matview-purity" ] ~root [ "lib/views.ml" ])
+
+(* --- shared-state-registry (cross-file, on a scratch tree) ------------ *)
+
+let shared_state_src =
+  {|
+let table = Hashtbl.create 16
+let counter = ref 0
+type slot = { mutable occupied : bool }
+let global_slot = { occupied = false }
+module Inner = struct
+  let buf = Buffer.create 64
+end
+let pure = 42
+let compute () = let local = ref 0 in incr local; !local
+|}
+
+let shared_state_flagging () =
+  let root = scratch_tree "ss_flag" [ ("lib/state.ml", shared_state_src) ] in
+  let fs = Driver.lint_files ~checks:[ "shared-state-registry" ] ~root [ "lib/state.ml" ] in
+  (* [pure] and the function-local ref are not global mutable state. *)
+  check_count "table + counter + global_slot + Inner.buf" "shared-state-registry" 4 fs;
+  let has needle =
+    List.exists (fun f -> Provkit_util.Strutil.contains_substring ~needle f.Finding.message) fs
+  in
+  Alcotest.(check bool) "flags the Hashtbl" true (has "table");
+  Alcotest.(check bool) "flags the ref" true (has "counter");
+  Alcotest.(check bool) "flags the mutable-record literal" true (has "global_slot");
+  Alcotest.(check bool) "dots nested modules into the name" true (has "Inner.buf")
+
+let shared_state_suppressed () =
+  let root =
+    scratch_tree "ss_supp"
+      [
+        ( "lib/state.ml",
+          {|
+let table = Hashtbl.create 16 [@@provlint.allow "shared-state-registry"]
+let counter = ref 0 [@@provlint.allow "shared-state-registry"]
+|} );
+      ]
+  in
+  check_count "suppressed" "shared-state-registry" 0
+    (Driver.lint_files ~checks:[ "shared-state-registry" ] ~root [ "lib/state.ml" ])
+
+let shared_state_stale_entry () =
+  (* A manifest entry whose binding no longer exists must fail once its
+     file is part of the linted set — the inventory cannot rot. *)
+  let structure =
+    match
+      Provkit_lint.Source.parse_string ~filename:"lib/state.ml" {|let pure = 42|}
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "fixture does not parse"
+  in
+  let manifest =
+    [
+      Provkit_lint.Shared_state.e "lib/state.ml" "gone"
+        Provkit_lint.Shared_state.Needs_lock "used to exist";
+      Provkit_lint.Shared_state.e "lib/other.ml" "unlinted"
+        Provkit_lint.Shared_state.Needs_lock "file not in this run";
+    ]
+  in
+  let fs =
+    Provkit_lint.Check_shared_state.run ~manifest [ ("lib/state.ml", structure) ]
+  in
+  check_count "only the linted file's dead entry is stale" "shared-state-registry" 1 fs;
+  Alcotest.(check bool) "names the dead entry" true
+    (List.exists
+       (fun f -> Provkit_util.Strutil.contains_substring ~needle:"gone" f.Finding.message)
+       fs)
+
 (* --- rendering ------------------------------------------------------- *)
 
 let json_rendering () =
@@ -325,6 +579,35 @@ let json_rendering () =
 let parse_error_reported () =
   let fs = lint ~filename:"lib/foo.ml" "let f = (" in
   check_count "unparseable file is itself a finding" "parse-error" 1 fs
+
+let sarif_rendering () =
+  let has needle s = Provkit_util.Strutil.contains_substring ~needle s in
+  let fs = lint ~filename:"lib/foo.ml" {|let f x = Obj.magic x|} in
+  let sarif = Driver.render_sarif fs in
+  Alcotest.(check bool) "declares SARIF 2.1.0" true (has {|"version":"2.1.0"|} sarif);
+  Alcotest.(check bool) "result carries the ruleId" true
+    (has {|"ruleId":"banned-constructs"|} sarif);
+  Alcotest.(check bool) "location is present" true (has {|"startLine":1|} sarif);
+  Alcotest.(check bool) "rules catalogue lists every check" true
+    (List.for_all (fun (id, _) -> has (Printf.sprintf {|{"id":"%s"|} id) sarif)
+       Driver.all_checks);
+  Alcotest.(check bool) "empty run renders empty results" true
+    (has {|"results":[]|} (Driver.render_sarif []))
+
+let timing_reported () =
+  let root =
+    scratch_tree "timing" [ ("lib/tiny.ml", {|let id x = x|}) ]
+  in
+  let _, timings = Driver.lint_files_timed ~root [ "lib/tiny.ml" ] in
+  Alcotest.(check string) "parse is timed first" "parse" (fst (List.hd timings));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "check %s is timed" id) true
+        (List.mem_assoc id timings))
+    Driver.check_ids;
+  Alcotest.(check int) "one row per check plus parse"
+    (1 + List.length Driver.check_ids)
+    (List.length timings)
 
 (* --- integration: the real tree is clean ----------------------------- *)
 
@@ -362,7 +645,21 @@ let suite =
     Alcotest.test_case "obs-names suppressed" `Quick obs_suppressed;
     Alcotest.test_case "obs-names span bin exempt" `Quick obs_span_bin_exempt;
     Alcotest.test_case "obs-names grep parity" `Quick grep_parity;
+    Alcotest.test_case "epoch-discipline flags" `Quick epoch_flagging;
+    Alcotest.test_case "epoch-discipline suppressed" `Quick epoch_suppressed;
+    Alcotest.test_case "epoch-discipline scoped" `Quick epoch_scoped_to_table;
+    Alcotest.test_case "wal-durability flags" `Quick wal_flagging;
+    Alcotest.test_case "wal-durability suppressed" `Quick wal_suppressed;
+    Alcotest.test_case "wal-durability scoped" `Quick wal_scoped_to_prov_log;
+    Alcotest.test_case "matview-purity flags" `Quick matview_flagging;
+    Alcotest.test_case "matview-purity accumulator ok" `Quick matview_accumulator_ok;
+    Alcotest.test_case "matview-purity suppressed" `Quick matview_suppressed;
+    Alcotest.test_case "shared-state-registry flags" `Quick shared_state_flagging;
+    Alcotest.test_case "shared-state-registry suppressed" `Quick shared_state_suppressed;
+    Alcotest.test_case "shared-state-registry stale entry" `Quick shared_state_stale_entry;
     Alcotest.test_case "json rendering" `Quick json_rendering;
+    Alcotest.test_case "sarif rendering" `Quick sarif_rendering;
+    Alcotest.test_case "timing rows" `Quick timing_reported;
     Alcotest.test_case "parse errors surface" `Quick parse_error_reported;
     Alcotest.test_case "repository is clean" `Quick repo_clean;
   ]

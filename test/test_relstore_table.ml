@@ -245,6 +245,20 @@ let test_find_by_arity_mismatch () =
   Alcotest.(check int) "scan path still works" 1
     (List.length (R.Table.find_by t ~columns:[ "name" ] [ R.Value.Text "a" ]))
 
+(* Regression (found by provlint's epoch-discipline check): deserialize
+   rebuilt rows and indexes without moving the modification epoch, so a
+   query-cache or matview stamp taken before a snapshot load stayed
+   "fresh" against the reloaded table and served the old rows.  The load
+   must land on a bumped epoch. *)
+let test_deserialize_bumps_epoch () =
+  let t = R.Table.create (people_schema ()) in
+  let _ = R.Table.insert_fields t (person "ann" 30) in
+  let buf = Buffer.create 256 in
+  R.Table.serialize buf t;
+  let t' = R.Table.deserialize (Buffer.contents buf) (ref 0) in
+  Alcotest.(check bool) "fresh load is never at the epoch a cache stamps at create" true
+    (R.Table.epoch t' > 0)
+
 (* Regression: deserialize used to trust the stored next_id verbatim, so
    a corrupt (too small) counter made later inserts collide with live
    rowids.  The counter is clamped to max rowid + 1 on load. *)
@@ -327,6 +341,7 @@ let suite =
     Alcotest.test_case "find without index" `Quick test_table_find_without_index_scans;
     Alcotest.test_case "table serialize roundtrip" `Quick test_table_serialize_roundtrip;
     Alcotest.test_case "find_by arity mismatch" `Quick test_find_by_arity_mismatch;
+    Alcotest.test_case "deserialize bumps the epoch" `Quick test_deserialize_bumps_epoch;
     Alcotest.test_case "deserialize clamps corrupt next_id" `Quick
       test_deserialize_clamps_corrupt_next_id;
     Alcotest.test_case "deserialize rejects duplicate rowid" `Quick

@@ -26,7 +26,8 @@ grep -q '"ns_per_op":' "$work/base.json" ||
 # "after" side must beat its "before" side by at least 5x.
 for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched \
            matview-update cold-rescan \
-           stats-analyze estimate-error-heuristic estimate-error-stats; do
+           stats-analyze estimate-error-heuristic estimate-error-stats \
+           lint-full-tree; do
   grep -q "\"name\":\"$row\"" "$work/base.json" ||
     { echo "bench_smoke: artifact missing expected row $row"; exit 1; }
 done

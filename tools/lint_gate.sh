@@ -1,40 +1,87 @@
 #!/usr/bin/env bash
 # Lint gate: fail the build when provlint reports a finding that is not
-# in the committed baseline (tools/lint_baseline.json).
+# in the committed baseline.
 #
-# The baseline is expected to stay empty ("[]").  It exists so an
-# emergency fix can land with a known finding recorded explicitly
-# instead of being waved through; burn entries down to zero again as
-# soon as possible.  provlint emits one JSON object per line, so the
+# The baseline is expected to stay empty.  It exists so an emergency fix
+# can land with a known finding recorded explicitly instead of being
+# waved through; burn entries down to zero again as soon as possible.
+# Two enforced hygiene rules keep baseline debt temporary by
+# construction:
+#   - every baseline finding line must carry an "expires":"YYYY-MM-DD"
+#     stamp (appended to the finding object; the gate strips it before
+#     the membership test);
+#   - an entry past its stamp fails the gate outright.
+#
+# provlint emits one finding object per line in both formats, so the
 # gate is a plain line-wise membership test — no JSON parser needed.
 #
-# Usage: lint_gate.sh [provlint-exe] [root]
+# Usage: lint_gate.sh [provlint-exe] [root] [json|sarif]
 set -u
 
 provlint=${1:-_build/default/bin/provlint.exe}
 root=${2:-.}
-baseline=$(dirname "$0")/lint_baseline.json
+format=${3:-json}
+
+case "$format" in
+  json)
+    baseline=$(dirname "$0")/lint_baseline.json
+    flag=--json
+    is_finding() { case "$1" in '{'*) return 0 ;; *) return 1 ;; esac; }
+    ;;
+  sarif)
+    baseline=$(dirname "$0")/lint_baseline.sarif
+    flag=--sarif
+    is_finding() { case "$1" in *'"ruleId"'*) return 0 ;; *) return 1 ;; esac; }
+    ;;
+  *)
+    echo "lint_gate: unknown format '$format' (expected json or sarif)" >&2
+    exit 2
+    ;;
+esac
 
 if [ ! -f "$baseline" ]; then
   echo "lint_gate: missing baseline $baseline" >&2
   exit 2
 fi
 
-out=$("$provlint" --json --root "$root")
+# --- baseline hygiene: every entry carries an unexpired expires stamp ---
+today=$(date +%F)
+stale=0
+while IFS= read -r line; do
+  is_finding "$line" || continue
+  entry=${line%,}
+  exp=$(printf '%s' "$entry" | grep -o '"expires":"[0-9][0-9-]*"' | head -n1 | cut -d'"' -f4)
+  if [ -z "$exp" ]; then
+    echo "lint_gate: baseline entry without an \"expires\":\"YYYY-MM-DD\" stamp:" >&2
+    echo "  $entry" >&2
+    stale=1
+  elif [ "$exp" \< "$today" ]; then
+    echo "lint_gate: baseline entry expired on $exp (today is $today):" >&2
+    echo "  $entry" >&2
+    stale=1
+  fi
+done < "$baseline"
+if [ "$stale" -ne 0 ]; then
+  echo "lint_gate: expired baseline debt — fix the findings or renew the stamps consciously." >&2
+  exit 1
+fi
+
+out=$("$provlint" $flag --root "$root")
 status=$?
 if [ "$status" -gt 1 ]; then
   echo "lint_gate: provlint failed (exit $status)" >&2
   exit 2
 fi
 
+# The expires stamp is gate metadata, not provlint output: strip it from
+# baseline lines before the membership test.
+stripped=$(sed 's/,"expires":"[0-9][0-9-]*"//' "$baseline")
+
 new=0
 while IFS= read -r line; do
-  case "$line" in
-    '{'*) ;;
-    *) continue ;;
-  esac
+  is_finding "$line" || continue
   entry=${line%,}
-  if ! grep -qF -- "$entry" "$baseline"; then
+  if ! printf '%s\n' "$stripped" | grep -qF -- "$entry"; then
     if [ "$new" -eq 0 ]; then
       echo "lint_gate: findings not in baseline:" >&2
     fi
@@ -47,8 +94,8 @@ EOF
 
 if [ "$new" -ne 0 ]; then
   echo "lint_gate: fix the findings (see provlint --root $root) or, as a last" >&2
-  echo "lint_gate: resort, add them to tools/lint_baseline.json with a comment in the PR." >&2
+  echo "lint_gate: resort, add them to $baseline with an expires stamp and a PR comment." >&2
   exit 1
 fi
 
-echo "lint_gate: no findings outside baseline"
+echo "lint_gate: no findings outside baseline ($format)"
