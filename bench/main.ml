@@ -481,6 +481,62 @@ let run_lint measured =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.95: alert-rule evaluation cost                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Rules evaluate on every pulse point, so their cost rides the ingest
+   path (amortized by the pulse interval, but still).  The row is ns
+   per rule per point over the full default catalog against synthetic
+   healthy-looking snapshots — none of the rules fires, which is the
+   steady-state the evaluator spends its life in. *)
+let measure_alert () =
+  Provkit_obs.Alert.reset ();
+  List.iter Provkit_obs.Alert.register Provkit_obs.Alert.defaults;
+  let n_rules = List.length Provkit_obs.Alert.defaults in
+  let snap v =
+    {
+      Provkit_obs.Metrics.snap_counters =
+        [
+          (Provkit_obs.Names.capture_events, v);
+          (Provkit_obs.Names.query_cache_hits, v);
+          (Provkit_obs.Names.query_cache_misses, v / 2);
+          (Provkit_obs.Names.stats_estimates, v);
+          (Provkit_obs.Names.stats_misestimates, v / 25);
+        ];
+      snap_gauges =
+        [
+          (Provkit_obs.Names.wal_fsyncs_per_append, 1.0);
+          (Provkit_obs.Names.matview_staleness, 3.0);
+        ];
+      snap_histograms =
+        [
+          ( Provkit_obs.Names.query_latency_ns,
+            {
+              Provkit_obs.Metrics.hs_count = v;
+              hs_sum = 1e6;
+              hs_min = 100;
+              hs_max = 1_000_000;
+              hs_p50 = 1e4;
+              hs_p95 = 1e5;
+              hs_p99 = 1e6;
+            } );
+        ];
+    }
+  in
+  let older = { Provkit_obs.Timeseries.pt_ns = 0L; pt_snap = snap 1_000 } in
+  let newer = { Provkit_obs.Timeseries.pt_ns = 1_000_000_000L; pt_snap = snap 2_000 } in
+  let iters = if quick then 2_000 else 20_000 in
+  let ns = time_per_op iters n_rules (fun () -> Provkit_obs.Alert.evaluate ~older ~newer) in
+  Provkit_obs.Alert.reset ();
+  [ ("alert-eval", iters, ns) ]
+
+let run_alert measured =
+  print_endline "== alert engine (default catalog; ns per rule per point) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "row"; "ns/rule/point" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.1f" ns ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: experiment tables                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -513,7 +569,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~hot ~matview ~stats ~lint ~overhead =
+let write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -532,7 +588,8 @@ let write_artifact ~micro ~hot ~matview ~stats ~lint ~overhead =
        (Core.Prov_store.edge_count (Harness.Dataset.store ds)));
   Buffer.add_string buf "  \"rows\": [\n";
   let all_rows =
-    List.map (fun (name, ns) -> (name, micro_iters, ns)) micro @ hot @ matview @ stats @ lint
+    List.map (fun (name, ns) -> (name, micro_iters, ns)) micro
+    @ hot @ matview @ stats @ lint @ alert
   in
   List.iteri
     (fun i (name, iters, ns) ->
@@ -579,7 +636,9 @@ let () =
   run_stats stats;
   let lint = measure_lint () in
   run_lint lint;
+  let alert = measure_alert () in
+  run_alert alert;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~lint ~overhead
+  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~overhead
   else run_experiments ()

@@ -222,8 +222,15 @@ let stats db json prom trace_out days seed group_commit cache_capacity =
     Format.printf "%a" Core.Prov_store.pp_stats store;
     Printf.printf "causal graph acyclic: %b\n" (Core.Versioning.is_acyclic store)
   | None ->
+    (* The exposition includes one prov_alert_state gauge per default
+       rule, so install the catalog before the workload's pulse points
+       start flowing. *)
+    if prom then Provkit_obs.Alert.install_defaults ();
     let snap = workload_snapshot ~group_commit ~cache_capacity days seed in
-    if prom then print_string (Provkit_obs.Timeseries.prometheus snap)
+    if prom then begin
+      print_string (Provkit_obs.Timeseries.prometheus snap);
+      print_string (Provkit_obs.Alert.prometheus_states ())
+    end
     else if json then print_endline (Provkit_obs.Metrics.to_json snap)
     else begin
       print_string (Provkit_obs.Metrics.render snap);
@@ -352,7 +359,11 @@ let slowlog load threshold_ns days seed json out =
       List.iter (fun e -> print_endline (Relstore.Slowlog.to_json e)) entries
     else print_string (Relstore.Slowlog.render entries)
   | None ->
-    Relstore.Slowlog.set_threshold_ns threshold_ns;
+    (match Relstore.Slowlog.set_threshold_ns threshold_ns with
+    | () -> ()
+    | exception Invalid_argument msg ->
+      Printf.eprintf "provctl slowlog: %s\n" msg;
+      exit 2);
     ignore (workload_snapshot days seed);
     let entries = Relstore.Slowlog.entries () in
     if json then
@@ -377,10 +388,22 @@ let slowlog_load_arg =
               workload.")
 
 let slowlog_threshold_arg =
+  let default =
+    (* PROV_SLOWLOG_NS (already applied at Slowlog load when valid)
+       also becomes the flag default, so env < flag in precedence. *)
+    match Sys.getenv_opt "PROV_SLOWLOG_NS" with
+    | Some s -> (
+      match Relstore.Slowlog.threshold_of_env_string s with Some n -> n | None -> 100_000)
+    | None -> 100_000
+  in
   Arg.(
-    value & opt int 100_000
-    & info [ "threshold-ns" ] ~docv:"NS"
-        ~doc:"Slow-query threshold in nanoseconds (0 logs every query).")
+    value & opt int default
+    & info
+        [ "threshold-ns"; "threshold" ]
+        ~docv:"NS"
+        ~doc:
+          "Slow-query threshold in nanoseconds (0 logs every query; at most one hour).  \
+           Defaults to $(b,PROV_SLOWLOG_NS) when that is set to a valid value.")
 
 let slowlog_out_arg =
   Arg.(
@@ -404,8 +427,27 @@ let slowlog_cmd =
    load: the simulated event stream is ingested in chunks, each chunk
    records a time-series point, and every refresh prints the
    delta/rate table between the two newest points. *)
-let top days seed refreshes no_clear =
+let top days seed refreshes no_clear since journal =
   Provkit_obs.Metrics.set_enabled true;
+  let ring = Provkit_obs.Timeseries.default in
+  (* --since preloads the ring with a previous run's journaled points,
+     so the first refresh already has history to diff against. *)
+  (match since with
+  | None -> ()
+  | Some path ->
+    let rp = Provkit_obs.Telemetry_log.replay_into ring ~path in
+    Printf.eprintf "top: replayed %d point(s) from %s%s\n"
+      (List.length rp.Provkit_obs.Telemetry_log.rp_points)
+      path
+      (if rp.Provkit_obs.Telemetry_log.rp_truncated then " (torn tail ignored)" else ""));
+  let tj =
+    match journal with
+    | None -> None
+    | Some path ->
+      let t = Provkit_obs.Telemetry_log.open_ ~path in
+      Provkit_obs.Telemetry_log.attach t;
+      Some t
+  in
   let ds =
     Harness.Dataset.build
       ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
@@ -417,7 +459,6 @@ let top days seed refreshes no_clear =
   let total = List.length events in
   let refreshes = max 1 refreshes in
   let chunk = max 1 ((total + refreshes - 1) / refreshes) in
-  let ring = Provkit_obs.Timeseries.default in
   ignore (Provkit_obs.Timeseries.record ring);
   let rec take n = function
     | [] -> ([], [])
@@ -452,7 +493,12 @@ let top days seed refreshes no_clear =
         flush stdout);
       go (i + 1) fed rest
   in
-  go 1 0 events
+  go 1 0 events;
+  match tj with
+  | None -> ()
+  | Some t ->
+    Provkit_obs.Telemetry_log.close t;
+    Printf.eprintf "top: telemetry journal -> %s\n" (Provkit_obs.Telemetry_log.path t)
 
 let refreshes_arg =
   Arg.(
@@ -465,13 +511,150 @@ let no_clear_flag =
     & info [ "no-clear" ]
         ~doc:"Do not clear the terminal between refreshes (append instead).")
 
+let since_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "since" ] ~docv:"FILE"
+        ~doc:
+          "Replay a telemetry journal into the ring first, so this run's deltas continue \
+           a previous run's history (a torn tail is truncated to the clean prefix).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append every recorded telemetry point (and alert transition) to this durable \
+           CRC-framed journal, replayable with --since.")
+
 let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live telemetry: ingest the simulated event stream in chunks and refresh a \
           per-metric value/delta/rate display after each chunk")
-    Term.(const top $ days_arg $ seed_arg $ refreshes_arg $ no_clear_flag)
+    Term.(
+      const top $ days_arg $ seed_arg $ refreshes_arg $ no_clear_flag $ since_arg
+      $ journal_arg)
+
+(* --- alerts + health ------------------------------------------------- *)
+
+(* The alert engine watches the telemetry ring, so this command just
+   installs the default rule catalog, optionally replays a journal
+   (history first: the engine's hysteresis state continues across
+   restarts), runs the instrumented workload, and reports what fired. *)
+let alerts journal days seed json group_commit cache_capacity =
+  Provkit_obs.Alert.install_defaults ();
+  let tj =
+    match journal with
+    | None -> None
+    | Some path ->
+      (* open_ first: it truncates any torn tail, so the replay below
+         reads a clean file. *)
+      let t = Provkit_obs.Telemetry_log.open_ ~path in
+      let rp =
+        Provkit_obs.Telemetry_log.replay_into Provkit_obs.Timeseries.default ~path
+      in
+      Provkit_obs.Alert.replay_history rp.Provkit_obs.Telemetry_log.rp_points;
+      Printf.eprintf "alerts: replayed %d point(s), %d transition(s) from %s\n"
+        (List.length rp.Provkit_obs.Telemetry_log.rp_points)
+        (List.length rp.Provkit_obs.Telemetry_log.rp_transitions)
+        path;
+      Provkit_obs.Telemetry_log.attach t;
+      Some t
+  in
+  ignore (workload_snapshot ~group_commit ~cache_capacity days seed);
+  (match tj with Some t -> Provkit_obs.Telemetry_log.close t | None -> ());
+  if json then print_endline (Provkit_obs.Alert.to_json ())
+  else begin
+    print_string (Provkit_obs.Alert.render ());
+    let trs = Provkit_obs.Alert.transitions () in
+    if trs <> [] then begin
+      Printf.printf "\ntransitions (%d total):\n" (Provkit_obs.Alert.transitions_recorded ());
+      List.iter
+        (fun tr ->
+          Printf.printf "  #%d %s %s (%s) value %g\n" tr.Provkit_obs.Alert.tr_seq
+            (Provkit_obs.Alert.kind_name tr.Provkit_obs.Alert.tr_kind)
+            tr.Provkit_obs.Alert.tr_rule
+            (Provkit_obs.Alert.severity_name tr.Provkit_obs.Alert.tr_severity)
+            tr.Provkit_obs.Alert.tr_value)
+        trs
+    end
+  end
+
+let alerts_cmd =
+  Cmd.v
+    (Cmd.info "alerts"
+       ~doc:
+         "Run the instrumented workload with the default alert-rule catalog armed and \
+          report rule states and fire/resolve transitions")
+    Term.(
+      const alerts $ journal_arg $ days_arg $ seed_arg $ json_flag $ group_commit_arg
+      $ cache_capacity_arg)
+
+(* Health composes the judgments only the subsystems can make: the WAL
+   checks its own manifest, the stats catalog its freshness, the alert
+   engine contributes its built-in open-alerts check, and the epoch
+   cross-check below ties tables to their catalog entries. *)
+let health days seed json =
+  Provkit_obs.Metrics.set_enabled true;
+  Provkit_obs.Alert.install_defaults ();
+  let dir = Filename.temp_file "provctl-health" ".wal" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ds =
+    Harness.Dataset.build
+      ~user_config:{ Browser.User_model.default_config with Browser.User_model.days }
+      ~seed ()
+  in
+  let events = Browser.Engine.event_log ds.Harness.Dataset.engine in
+  let handle = Core.Prov_log.Segmented.open_ dir in
+  let capture, feed = Core.Capture.observer () in
+  let store = Core.Capture.store capture in
+  Core.Prov_log.Segmented.attach handle store;
+  List.iter feed events;
+  Core.Prov_log.Segmented.close handle;
+  let db = Core.Prov_schema.to_database store in
+  ignore (Relstore.Stats.analyze_database db);
+  Core.Prov_log.Segmented.register_manifest_check ~dir;
+  Relstore.Stats.register_health_check db;
+  Provkit_obs.Health.register Provkit_obs.Names.health_epochs_consistent (fun () ->
+      (* A catalog entry stamped with an epoch the table has not reached
+         yet means the epoch discipline broke somewhere — the staleness
+         rule every cache layer relies on is no longer trustworthy. *)
+      let tables = Relstore.Database.tables db in
+      let from_future =
+        List.filter
+          (fun t ->
+            match Relstore.Stats.lookup t with
+            | Some s -> s.Relstore.Stats.ts_epoch > Relstore.Table.epoch t
+            | None -> false)
+          tables
+      in
+      if from_future = [] then
+        ( Provkit_obs.Health.Ok,
+          Printf.sprintf "catalog epochs consistent across %d table(s)" (List.length tables)
+        )
+      else
+        ( Provkit_obs.Health.Failing,
+          Printf.sprintf "catalog epoch ahead of table epoch: %s"
+            (String.concat ", " (List.map Relstore.Table.name from_future)) ));
+  let report = Provkit_obs.Health.run () in
+  if json then print_endline (Provkit_obs.Health.to_json report)
+  else print_string (Provkit_obs.Health.render report);
+  if Provkit_obs.Health.exit_code report <> 0 then exit 1
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a small instrumented workload, compose the registered health checks (WAL \
+          manifest, stats freshness, open alerts, epoch consistency) and exit non-zero \
+          when failing")
+    Term.(const health $ days_arg $ seed_arg $ json_flag)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -1072,9 +1255,9 @@ let () =
     Cmd.group info
       [
         generate_cmd; replay_cmd; stats_cmd; analyze_cmd; slowlog_cmd; top_cmd;
-        profile_cmd; search_cmd; time_search_cmd; lineage_cmd; tree_cmd; sql_cmd;
-        suggest_cmd; sessions_cmd; expire_cmd; wal_cmd; matview_cmd; experiments_cmd;
-        lint_cmd;
+        alerts_cmd; health_cmd; profile_cmd; search_cmd; time_search_cmd; lineage_cmd;
+        tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd; matview_cmd;
+        experiments_cmd; lint_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

@@ -640,4 +640,35 @@ module Segmented = struct
     | None -> ()
     | Some registry -> Relstore.Matview.rebuild registry (ops_of_store store));
     { store; ops_applied = !ops_applied; segments_read = !segments_read; truncated = !truncated })
+
+  (* The manifest-sanity health check: the manifest must decode and
+     every file it names (snapshot + live segments) must exist.  A
+     missing directory or manifest reads as Degraded (nothing durable
+     yet, but nothing lost); a manifest that names absent files means
+     recovery would truncate — Failing. *)
+  let manifest_check ~dir () =
+    if not (Sys.file_exists dir) then
+      (Obs.Health.Degraded, Printf.sprintf "wal directory %s missing (nothing durable yet)" dir)
+    else if not (Sys.file_exists (Filename.concat dir manifest_file)) then
+      (Obs.Health.Degraded, "no manifest yet")
+    else
+      match read_manifest dir with
+      | exception Relstore.Errors.Corrupt msg ->
+        (Obs.Health.Failing, Printf.sprintf "manifest corrupt: %s" msg)
+      | m ->
+        let named = (match m.snapshot with None -> [] | Some f -> [ f ]) @ m.segments in
+        let missing =
+          List.filter (fun f -> not (Sys.file_exists (Filename.concat dir f))) named
+        in
+        if missing <> [] then
+          ( Obs.Health.Failing,
+            Printf.sprintf "manifest names missing files: %s" (String.concat ", " missing) )
+        else
+          ( Obs.Health.Ok,
+            Printf.sprintf "generation %d, %d segment(s)%s" m.generation
+              (List.length m.segments)
+              (match m.snapshot with None -> "" | Some f -> ", snapshot " ^ f) )
+
+  let register_manifest_check ~dir =
+    Obs.Health.register Obs.Names.health_wal_manifest (manifest_check ~dir)
 end

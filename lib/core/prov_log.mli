@@ -205,4 +205,14 @@ module Segmented : sig
       is rebuilt from {!ops_of_store} of the recovered store, so its
       views come back snapshot-consistent with the tables even after a
       torn tail. *)
+
+  val manifest_check : dir:string -> unit -> Provkit_obs.Health.verdict * string
+  (** The manifest-sanity judgment: decodes the manifest and verifies
+      every file it names exists.  Missing directory/manifest reads as
+      [Degraded] (nothing durable yet); an undecodable manifest or one
+      naming absent files reads as [Failing]. *)
+
+  val register_manifest_check : dir:string -> unit
+  (** Register {!manifest_check} with {!Provkit_obs.Health} under
+      {!Provkit_obs.Names.health_wal_manifest}. *)
 end

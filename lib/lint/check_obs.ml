@@ -25,7 +25,14 @@
      the profile trees that provctl renders (bin/ may still improvise:
      CLI phase spans are not library API);
    - every registered [span_*] binding must be referenced somewhere in
-     lib/ or bin/. *)
+     lib/ or bin/.
+
+   Alert rule ids ("alert." + two more dotted segments, digits allowed)
+   and health check names ("health." + two more segments) get the same
+   two-way treatment: a shaped literal in lib/ or bin/ must be a
+   registered names.ml constant, and every registered constant must be
+   used.  One-segment reason strings like "alert.fired" are not ids and
+   stay exempt. *)
 
 open Parsetree
 
@@ -44,6 +51,25 @@ let registry_of structure =
             match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
             | Ppat_var name, Pexp_constant (Pconst_string (s, _, _))
               when Registry.is_metric_literal s -> Some (name.txt, s, vb.pvb_loc)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    structure
+
+(* Top-level bindings of the names module whose literal has a given
+   dotted-id shape — the alert-rule-id and health-check-name
+   registries.  Shape of the literal, not of the binding name, decides:
+   [alert_fires = "prov.alert.fires.total"] is a metric, not a rule. *)
+let shaped_registry_of ~shaped structure =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.filter_map
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+            | Ppat_var name, Pexp_constant (Pconst_string (s, _, _)) when shaped s ->
+              Some (name.txt, s, vb.pvb_loc)
             | _ -> None)
           vbs
       | _ -> [])
@@ -89,20 +115,30 @@ let scan_uses structure uses =
   in
   it.structure it structure
 
-let literal_findings ~file structure registered =
+let literal_findings ~file structure ~registered ~alert_registered ~health_registered =
   let findings = ref [] in
+  let flag loc fmt s =
+    findings := Source.finding ~check:id ~file loc (Printf.sprintf fmt s) :: !findings
+  in
   let it =
     {
       Ast_iterator.default_iterator with
       expr =
         (fun it e ->
           (match e.pexp_desc with
-          | Pexp_constant (Pconst_string (s, _, _))
-            when Registry.is_metric_literal s && not (SSet.mem s registered) ->
-            findings :=
-              Source.finding ~check:id ~file e.pexp_loc
-                (Printf.sprintf "unregistered metric name %S: add it to lib/obs/names.ml" s)
-              :: !findings
+          | Pexp_constant (Pconst_string (s, _, _)) ->
+            if Registry.is_metric_literal s && not (SSet.mem s registered) then
+              flag e.pexp_loc "unregistered metric name %S: add it to lib/obs/names.ml" s
+            else if Registry.is_alert_literal s && not (SSet.mem s alert_registered) then
+              flag e.pexp_loc
+                "unregistered alert rule id %S: add an alert_* constant to lib/obs/names.ml \
+                 (and Names.alert_ids)"
+                s
+            else if Registry.is_health_literal s && not (SSet.mem s health_registered) then
+              flag e.pexp_loc
+                "unregistered health check name %S: add a health_* constant to \
+                 lib/obs/names.ml (and Names.health_names)"
+                s
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
     }
@@ -164,8 +200,18 @@ let run files =
     List.iter (fun (_, structure) -> scan_uses structure uses) others;
     let span_registry = span_registry_of names_structure in
     let span_registered = SSet.of_list (List.map (fun (_, s, _) -> s) span_registry) in
+    let alert_registry = shaped_registry_of ~shaped:Registry.is_alert_literal names_structure in
+    let alert_registered = SSet.of_list (List.map (fun (_, s, _) -> s) alert_registry) in
+    let health_registry =
+      shaped_registry_of ~shaped:Registry.is_health_literal names_structure
+    in
+    let health_registered = SSet.of_list (List.map (fun (_, s, _) -> s) health_registry) in
     let unregistered =
-      List.concat_map (fun (rel, structure) -> literal_findings ~file:rel structure registered) others
+      List.concat_map
+        (fun (rel, structure) ->
+          literal_findings ~file:rel structure ~registered ~alert_registered
+            ~health_registered)
+        others
     in
     let span_sites =
       List.concat_map
@@ -198,4 +244,17 @@ let run files =
                     literal)))
         registry
     in
+    let unused_shaped what reg =
+      List.filter_map
+        (fun (name, literal, loc) ->
+          if SSet.mem name uses.idents || SSet.mem literal uses.literals then None
+          else
+            Some
+              (Source.finding ~check:id ~file:names_rel loc
+                 (Printf.sprintf "%s %s (%S) is registered but never used in lib/ or bin/"
+                    what name literal)))
+        reg
+    in
     unregistered @ span_sites @ unused @ span_unused
+    @ unused_shaped "alert rule" alert_registry
+    @ unused_shaped "health check" health_registry

@@ -139,3 +139,22 @@ let is_metric_literal s =
   match String.split_on_char '.' s with
   | "prov" :: (_ :: _ :: _ as rest) -> List.for_all seg_ok rest
   | _ -> false
+
+(* Alert rule ids and health check names follow the same dotted-id
+   discipline under their own heads ("alert." / "health." plus at least
+   two more segments), but their segments may carry digits —
+   "alert.query.p99_latency" is a rule id, while short reason literals
+   like "alert.fired" (one segment after the head) stay exempt. *)
+let is_dotted_id ~head s =
+  let seg_ok seg =
+    seg <> ""
+    && String.for_all
+         (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+         seg
+  in
+  match String.split_on_char '.' s with
+  | h :: (_ :: _ :: _ as rest) when h = head -> List.for_all seg_ok rest
+  | _ -> false
+
+let is_alert_literal s = is_dotted_id ~head:"alert" s
+let is_health_literal s = is_dotted_id ~head:"health" s

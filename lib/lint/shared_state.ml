@@ -66,6 +66,22 @@ let manifest =
     e "lib/obs/timeseries.ml" "interval" Single_writer "snapshot cadence config knob";
     e "lib/obs/timeseries.ml" "pulse_count" Needs_lock
       "ticked by capture and WAL ingest on every event";
+    e "lib/obs/timeseries.ml" "observers" Single_writer
+      "point observers (alert engine, telemetry journal) installed at startup, then only read";
+    e "lib/obs/alert.ml" "rules" Single_writer
+      "rule registry built by the CLI / tests before points flow";
+    e "lib/obs/alert.ml" "log" Needs_lock
+      "bounded transition log appended from the pulse path (any ingesting thread)";
+    e "lib/obs/alert.ml" "log_total" Needs_lock "transition counter paired with the log";
+    e "lib/obs/alert.ml" "prev_point" Needs_lock
+      "previous-point cursor advanced on every recorded point";
+    e "lib/obs/alert.ml" "installed" Single_writer "observer-attached latch, set once";
+    e "lib/obs/alert.ml" "replaying" Single_writer
+      "journal-replay quiet flag, toggled only around replay_history";
+    e "lib/obs/alert.ml" "transition_hooks" Single_writer
+      "transition hooks (telemetry journal) installed at startup, then only read";
+    e "lib/obs/health.ml" "checks" Single_writer
+      "check registry built by subsystem wiring before health runs";
     (* relstore *)
     e "lib/relstore/table.ml" "next_uid" Needs_lock
       "process-unique table ids; tables may be created from any thread";

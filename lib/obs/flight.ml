@@ -20,6 +20,8 @@ type incident = {
   snapshot : Metrics.snapshot;
   headline : string;
   context : (string * string) list;
+  dedup : string option;  (** merge key: repeats fold into one slot *)
+  mutable repeats : int;  (** occurrences merged beyond the first *)
 }
 
 let m_incidents = Metrics.counter Names.flight_incidents
@@ -42,22 +44,37 @@ let take_last n l =
 let rec take_first n l =
   match l with [] -> [] | x :: rest -> if n <= 0 then [] else x :: take_first (n - 1) rest
 
-let record ?(attrs = []) reason =
-  let snap = Metrics.snapshot () in
-  let i =
-    {
-      seq = !total + 1;
-      reason;
-      attrs;
-      ancestry = Trace.open_spans ();
-      spans = take_last span_cap (Trace.recent ());
-      snapshot = snap;
-      headline = Metrics.headline snap;
-      context = List.rev !context;
-    }
+let record ?(attrs = []) ?dedup reason =
+  (* A repeated occurrence of a deduplicated incident (the same alert
+     rule firing again, the same fault re-injected) must not consume
+     another of the 16 ring slots: the first capture already holds the
+     interesting state, so later ones just bump its repeat count.
+     [total] and the metric still count every occurrence. *)
+  let existing =
+    match dedup with
+    | None -> None
+    | Some key -> List.find_opt (fun i -> i.dedup = Some key) !ring
   in
+  (match existing with
+  | Some i -> i.repeats <- i.repeats + 1
+  | None ->
+    let snap = Metrics.snapshot () in
+    let i =
+      {
+        seq = !total + 1;
+        reason;
+        attrs;
+        ancestry = Trace.open_spans ();
+        spans = take_last span_cap (Trace.recent ());
+        snapshot = snap;
+        headline = Metrics.headline snap;
+        context = List.rev !context;
+        dedup;
+        repeats = 0;
+      }
+    in
+    ring := i :: take_first (keep - 1) !ring);
   total := !total + 1;
-  ring := i :: take_first (keep - 1) !ring;
   Metrics.incr m_incidents
 
 let recorded () = !total
@@ -85,8 +102,9 @@ let kvs_json kvs =
 let to_json i =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"postmortem\":1,\"seq\":%d,\"reason\":\"%s\",\"attrs\":%s,\"context\":%s"
-       i.seq (Metrics.json_escape i.reason) (kvs_json i.attrs) (kvs_json i.context));
+    (Printf.sprintf
+       "{\"postmortem\":1,\"seq\":%d,\"reason\":\"%s\",\"repeats\":%d,\"attrs\":%s,\"context\":%s"
+       i.seq (Metrics.json_escape i.reason) i.repeats (kvs_json i.attrs) (kvs_json i.context));
   Buffer.add_string buf ",\"open_spans\":[";
   List.iteri
     (fun k (o : Trace.open_span) ->

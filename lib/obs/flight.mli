@@ -21,10 +21,18 @@ type incident = {
   snapshot : Metrics.snapshot;
   headline : string;
   context : (string * string) list;
+  dedup : string option;  (** merge key: repeats fold into one ring slot *)
+  mutable repeats : int;  (** occurrences merged beyond the first *)
 }
 
-val record : ?attrs:(string * string) list -> string -> unit
-(** Capture an incident.  Also ticks {!Names.flight_incidents}. *)
+val record : ?attrs:(string * string) list -> ?dedup:string -> string -> unit
+(** Capture an incident.  Also ticks {!Names.flight_incidents}.
+
+    With [dedup], a repeated occurrence whose key matches an incident
+    still in the ring bumps that incident's [repeats] instead of
+    consuming another of the 16 slots — so an alert rule firing on
+    every evaluation cannot wash the rest of a postmortem away.
+    {!recorded} and the metric still count every occurrence. *)
 
 val recorded : unit -> int
 (** Total incidents recorded by this process, including ones that have

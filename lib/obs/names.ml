@@ -88,6 +88,19 @@ let slowlog_evictions = "prov.slowlog.evictions.total"
 
 let timeseries_points = "prov.timeseries.points.total"
 
+(* --- alert engine --- *)
+
+let alert_fires = "prov.alert.fires.total"
+let alert_resolves = "prov.alert.resolves.total"
+let alert_evaluations = "prov.alert.evaluations.total"
+let alert_firing_open = "prov.alert.firing.open"
+
+(* --- durable telemetry journal --- *)
+
+let telemetry_journal_appends = "prov.telemetry.journal.appends"
+let telemetry_journal_replays = "prov.telemetry.journal.replays"
+let telemetry_journal_truncations = "prov.telemetry.journal.truncations"
+
 let all =
   [
     browser_events;
@@ -139,6 +152,13 @@ let all =
     slowlog_notes;
     slowlog_evictions;
     timeseries_points;
+    alert_fires;
+    alert_resolves;
+    alert_evaluations;
+    alert_firing_open;
+    telemetry_journal_appends;
+    telemetry_journal_replays;
+    telemetry_journal_truncations;
   ]
 
 let registered name = List.mem name all
@@ -157,3 +177,46 @@ let span_wal_compact = "wal.compact"
 let span_wal_recover = "wal.recover"
 let span_wal_flush = "wal.flush"
 let span_stats_analyze = "stats.analyze"
+
+(* --- alert rule ids --- *)
+
+(* Rule identities are dotted "alert.<subsystem>.<what>" constants,
+   registered here under the same two-way contract as metric names: an
+   unregistered alert-id-shaped literal anywhere in lib/ or bin/ fails
+   the obs-names lint, and so does a registered id no rule ever uses.
+   The id doubles as the flight-recorder dedup key when a rule fires. *)
+
+let alert_query_p99 = "alert.query.p99_latency"
+let alert_wal_fsync_per_append = "alert.wal.fsync_per_append"
+let alert_cache_hit_ratio = "alert.cache.hit_ratio"
+let alert_matview_staleness = "alert.matview.staleness"
+let alert_stats_misestimate_burn = "alert.stats.misestimate_burn"
+let alert_capture_stalled = "alert.capture.stalled"
+
+let alert_ids =
+  [
+    alert_query_p99;
+    alert_wal_fsync_per_append;
+    alert_cache_hit_ratio;
+    alert_matview_staleness;
+    alert_stats_misestimate_burn;
+    alert_capture_stalled;
+  ]
+
+let alert_registered id = List.mem id alert_ids
+
+(* --- health check names --- *)
+
+(* Health checks compose into the provd readiness verdict; their names
+   follow the alert-id discipline ("health.<subsystem>.<what>") and are
+   linted both ways too. *)
+
+let health_wal_manifest = "health.wal.manifest"
+let health_stats_fresh = "health.stats.fresh"
+let health_alerts_clear = "health.alerts.clear"
+let health_epochs_consistent = "health.epochs.consistent"
+
+let health_names =
+  [ health_wal_manifest; health_stats_fresh; health_alerts_clear; health_epochs_consistent ]
+
+let health_registered name = List.mem name health_names

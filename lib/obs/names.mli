@@ -135,6 +135,31 @@ val slowlog_evictions : string
 val timeseries_points : string
 (** Metric snapshots captured into a telemetry time-series ring. *)
 
+val alert_fires : string
+(** Alert-rule fire transitions (a sustained breach crossed its [for_]
+    hysteresis window). *)
+
+val alert_resolves : string
+(** Alert-rule resolve transitions (a firing rule stayed clear for its
+    [for_] window). *)
+
+val alert_evaluations : string
+(** Rule evaluations performed against telemetry points (one per rule
+    per point pair). *)
+
+val alert_firing_open : string
+(** Gauge: alert rules currently in the firing state. *)
+
+val telemetry_journal_appends : string
+(** Records (points and alert transitions) appended to a durable
+    telemetry journal. *)
+
+val telemetry_journal_replays : string
+(** Completed telemetry-journal replay passes. *)
+
+val telemetry_journal_truncations : string
+(** Replays that stopped at a damaged frame and kept a clean prefix. *)
+
 val all : string list
 (** Every registered metric name, in declaration order (span names are
     not metrics and are not listed). *)
@@ -160,3 +185,58 @@ val span_wal_flush : string
 
 val span_stats_analyze : string
 (** Statistics-catalog analyze passes ([Relstore.Stats.analyze]). *)
+
+(** {2 Alert rule ids}
+
+    Dotted ["alert.<subsystem>.<what>"] constants.  The obs-names lint
+    enforces the same two-way contract as for metrics: an unregistered
+    alert-id-shaped literal under [lib/] or [bin/] fails the build, and
+    so does a registered id no rule ever uses.  A rule's id is also its
+    flight-recorder dedup key. *)
+
+val alert_query_p99 : string
+(** Query p99 latency above threshold. *)
+
+val alert_wal_fsync_per_append : string
+(** WAL fsyncs-per-append gauge above threshold (group commit not
+    amortizing). *)
+
+val alert_cache_hit_ratio : string
+(** Query-cache hit ratio below threshold. *)
+
+val alert_matview_staleness : string
+(** Matview staleness gauge above threshold. *)
+
+val alert_stats_misestimate_burn : string
+(** SLO burn rate on the planner misestimate ratio. *)
+
+val alert_capture_stalled : string
+(** Capture-event signal absent (ingest stalled mid-run). *)
+
+val alert_ids : string list
+(** Every registered alert rule id, in declaration order. *)
+
+val alert_registered : string -> bool
+
+(** {2 Health check names}
+
+    Dotted ["health.<subsystem>.<what>"] constants, linted both ways
+    like alert ids.  These name the checks {!Health} aggregates into
+    the provd readiness verdict. *)
+
+val health_wal_manifest : string
+(** The segmented WAL's manifest parses and names only existing files. *)
+
+val health_stats_fresh : string
+(** Every analyzed table's statistics are epoch-fresh. *)
+
+val health_alerts_clear : string
+(** No alert rule is currently firing (critical = failing). *)
+
+val health_epochs_consistent : string
+(** Cache/matview epochs agree with their tables (no stale serve). *)
+
+val health_names : string list
+(** Every registered health check name, in declaration order. *)
+
+val health_registered : string -> bool

@@ -1,0 +1,334 @@
+(* The durable telemetry journal: CRC-framed snapshot records appended
+   on every recorded Timeseries point and on every alert transition, so
+   `provctl top --since` and the alert engine can see history across
+   restarts.
+
+   The framing discipline mirrors the WAL's v2 codec: a magic header,
+   then per record a 4-byte LE payload length, a 4-byte LE CRC-32 of
+   the payload, and the payload itself.  Replay verifies every frame
+   and keeps the longest clean prefix — a crash-truncated or corrupted
+   tail is detected, reported (flight incident +
+   {!Names.telemetry_journal_truncations}), and cut away on the next
+   {!open_} exactly like WAL recovery truncates a torn segment.
+
+   This lives in lib/obs, which cannot depend on the relstore codec, so
+   the framing is implemented here against {!Provkit_util.Crc32}
+   directly; the discipline (length, checksum, clean-prefix recovery)
+   is the same. *)
+
+let magic = "PTJ1\n"
+
+type t = { tj_path : string; tj_oc : out_channel; mutable tj_closed : bool }
+
+type replay = {
+  rp_points : Timeseries.point list;  (** oldest first *)
+  rp_transitions : Alert.transition list;  (** oldest first *)
+  rp_records : int;
+  rp_truncated : bool;  (** a torn or corrupt tail was cut away *)
+  rp_clean_bytes : int;  (** length of the verified prefix, magic included *)
+}
+
+let m_appends = Metrics.counter Names.telemetry_journal_appends
+let m_replays = Metrics.counter Names.telemetry_journal_replays
+let m_truncations = Metrics.counter Names.telemetry_journal_truncations
+
+(* --- payload encoding --- *)
+
+let tag_point = 1
+let tag_transition = 2
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let w_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let w_i64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let w_f64 buf v = w_i64 buf (Int64.bits_of_float v)
+
+let w_str buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let encode_point (pt : Timeseries.point) =
+  let buf = Buffer.create 512 in
+  w_u8 buf tag_point;
+  w_i64 buf pt.Timeseries.pt_ns;
+  let snap = pt.Timeseries.pt_snap in
+  w_u32 buf (List.length snap.Metrics.snap_counters);
+  List.iter
+    (fun (name, v) ->
+      w_str buf name;
+      w_i64 buf (Int64.of_int v))
+    snap.Metrics.snap_counters;
+  w_u32 buf (List.length snap.Metrics.snap_gauges);
+  List.iter
+    (fun (name, v) ->
+      w_str buf name;
+      w_f64 buf v)
+    snap.Metrics.snap_gauges;
+  w_u32 buf (List.length snap.Metrics.snap_histograms);
+  List.iter
+    (fun (name, (s : Metrics.hist_summary)) ->
+      w_str buf name;
+      w_i64 buf (Int64.of_int s.Metrics.hs_count);
+      w_f64 buf s.Metrics.hs_sum;
+      w_i64 buf (Int64.of_int s.Metrics.hs_min);
+      w_i64 buf (Int64.of_int s.Metrics.hs_max);
+      w_f64 buf s.Metrics.hs_p50;
+      w_f64 buf s.Metrics.hs_p95;
+      w_f64 buf s.Metrics.hs_p99)
+    snap.Metrics.snap_histograms;
+  Buffer.contents buf
+
+let encode_transition (tr : Alert.transition) =
+  let buf = Buffer.create 64 in
+  w_u8 buf tag_transition;
+  w_u32 buf tr.Alert.tr_seq;
+  w_str buf tr.Alert.tr_rule;
+  w_u8 buf (match tr.Alert.tr_kind with Alert.Fire -> 1 | Alert.Resolve -> 2);
+  w_i64 buf tr.Alert.tr_ns;
+  w_f64 buf tr.Alert.tr_value;
+  w_u8 buf
+    (match tr.Alert.tr_severity with
+    | Alert.Info -> 0
+    | Alert.Warning -> 1
+    | Alert.Critical -> 2);
+  Buffer.contents buf
+
+(* --- payload decoding --- *)
+
+exception Bad_frame
+
+type cursor = { src : string; mutable pos : int }
+
+let r_u8 c =
+  if c.pos + 1 > String.length c.src then raise Bad_frame;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  if c.pos + 4 > String.length c.src then raise Bad_frame;
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code c.src.[c.pos + i]
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let r_i64 c =
+  if c.pos + 8 > String.length c.src then raise Bad_frame;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.src.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let r_f64 c = Int64.float_of_bits (r_i64 c)
+
+let r_str c =
+  let len = r_u32 c in
+  if len < 0 || c.pos + len > String.length c.src then raise Bad_frame;
+  let s = String.sub c.src c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let r_list c read_one =
+  let n = r_u32 c in
+  if n < 0 || n > 1_000_000 then raise Bad_frame;
+  List.init n (fun _ -> read_one c)
+
+let decode_point c =
+  let ns = r_i64 c in
+  let counters = r_list c (fun c ->
+      let name = r_str c in
+      (name, Int64.to_int (r_i64 c)))
+  in
+  let gauges = r_list c (fun c ->
+      let name = r_str c in
+      (name, r_f64 c))
+  in
+  let hists = r_list c (fun c ->
+      let name = r_str c in
+      let hs_count = Int64.to_int (r_i64 c) in
+      let hs_sum = r_f64 c in
+      let hs_min = Int64.to_int (r_i64 c) in
+      let hs_max = Int64.to_int (r_i64 c) in
+      let hs_p50 = r_f64 c in
+      let hs_p95 = r_f64 c in
+      let hs_p99 = r_f64 c in
+      ( name,
+        { Metrics.hs_count; hs_sum; hs_min; hs_max; hs_p50; hs_p95; hs_p99 } ))
+  in
+  {
+    Timeseries.pt_ns = ns;
+    pt_snap =
+      { Metrics.snap_counters = counters; snap_gauges = gauges; snap_histograms = hists };
+  }
+
+let decode_transition c =
+  let seq = r_u32 c in
+  let rule = r_str c in
+  let kind = match r_u8 c with 1 -> Alert.Fire | 2 -> Alert.Resolve | _ -> raise Bad_frame in
+  let ns = r_i64 c in
+  let value = r_f64 c in
+  let severity =
+    match r_u8 c with
+    | 0 -> Alert.Info
+    | 1 -> Alert.Warning
+    | 2 -> Alert.Critical
+    | _ -> raise Bad_frame
+  in
+  {
+    Alert.tr_seq = seq;
+    tr_rule = rule;
+    tr_kind = kind;
+    tr_ns = ns;
+    tr_value = value;
+    tr_severity = severity;
+  }
+
+(* --- replay --- *)
+
+let read_file path =
+  if Sys.file_exists path then In_channel.with_open_bin path In_channel.input_all else ""
+
+(* Walk frames from the raw bytes, stopping at the first frame that is
+   short, fails its CRC, or does not decode.  Everything before the
+   stop point is the clean prefix. *)
+let parse raw =
+  let len = String.length raw in
+  let points = ref [] and transitions = ref [] and records = ref 0 in
+  let truncated = ref false in
+  let clean = ref 0 in
+  if len = 0 then ()
+  else if len < String.length magic || String.sub raw 0 (String.length magic) <> magic then
+    (* Not even a valid header: the whole file is a torn/foreign tail. *)
+    truncated := true
+  else begin
+    clean := String.length magic;
+    let pos = ref !clean in
+    let stop ~torn = if torn then truncated := true in
+    (try
+       while !pos < len do
+         if !pos + 8 > len then begin
+           stop ~torn:true;
+           raise Exit
+         end;
+         let plen =
+           let v = ref 0 in
+           for i = 3 downto 0 do
+             v := (!v lsl 8) lor Char.code raw.[!pos + i]
+           done;
+           !v
+         in
+         let crc = Provkit_util.Crc32.of_le_bytes raw (!pos + 4) in
+         if plen <= 0 || plen > 16_777_216 || !pos + 8 + plen > len then begin
+           stop ~torn:true;
+           raise Exit
+         end;
+         if Provkit_util.Crc32.digest ~pos:(!pos + 8) ~len:plen raw <> crc then begin
+           stop ~torn:true;
+           raise Exit
+         end;
+         let c = { src = String.sub raw (!pos + 8) plen; pos = 0 } in
+         (match r_u8 c with
+         | t when t = tag_point -> points := decode_point c :: !points
+         | t when t = tag_transition -> transitions := decode_transition c :: !transitions
+         | _ -> raise Bad_frame);
+         incr records;
+         pos := !pos + 8 + plen;
+         clean := !pos
+       done
+     with
+    | Exit -> ()
+    | Bad_frame -> stop ~torn:true)
+  end;
+  {
+    rp_points = List.rev !points;
+    rp_transitions = List.rev !transitions;
+    rp_records = !records;
+    rp_truncated = !truncated;
+    rp_clean_bytes = !clean;
+  }
+
+let replay ~path =
+  let rp = parse (read_file path) in
+  Metrics.incr m_replays;
+  if rp.rp_truncated then begin
+    Metrics.incr m_truncations;
+    Flight.record "telemetry.journal.truncated"
+      ~dedup:("telemetry.journal.truncated:" ^ path)
+      ~attrs:
+        [
+          ("path", path);
+          ("clean_bytes", string_of_int rp.rp_clean_bytes);
+          ("records", string_of_int rp.rp_records);
+        ]
+  end;
+  rp
+
+let replay_into ring ~path =
+  let rp = replay ~path in
+  (* Timeseries.push, not record: replay must not re-snapshot, re-tick,
+     or re-notify the observers that wrote this journal. *)
+  List.iter (fun pt -> Timeseries.push ring pt) rp.rp_points;
+  rp
+
+(* --- the writer --- *)
+
+let write_frame oc payload =
+  let hdr = Buffer.create 8 in
+  w_u32 hdr (String.length payload);
+  Buffer.add_string hdr (Provkit_util.Crc32.to_le_bytes (Provkit_util.Crc32.digest payload));
+  output_string oc (Buffer.contents hdr);
+  output_string oc payload;
+  flush oc
+
+let open_ ~path =
+  (* Recover first: cut any torn tail back to the clean prefix (the
+     same discipline as WAL segment recovery), then append after it. *)
+  let raw = read_file path in
+  let rp = if raw = "" then parse "" else replay ~path in
+  let clean =
+    if raw = "" then magic
+    else if rp.rp_truncated then (if rp.rp_clean_bytes = 0 then magic
+                                  else String.sub raw 0 rp.rp_clean_bytes)
+    else raw
+  in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  output_string oc clean;
+  flush oc;
+  { tj_path = path; tj_oc = oc; tj_closed = false }
+
+let path t = t.tj_path
+
+let append_point t pt =
+  if not t.tj_closed then begin
+    write_frame t.tj_oc (encode_point pt);
+    Metrics.incr m_appends
+  end
+
+let append_transition t tr =
+  if not t.tj_closed then begin
+    write_frame t.tj_oc (encode_transition tr);
+    Metrics.incr m_appends
+  end
+
+let close t =
+  if not t.tj_closed then begin
+    t.tj_closed <- true;
+    close_out t.tj_oc
+  end
+
+let attach t =
+  Timeseries.add_observer (fun pt -> append_point t pt);
+  Alert.add_transition_hook (fun tr -> append_transition t tr)

@@ -1,0 +1,58 @@
+(** The durable telemetry journal: CRC-framed records appended on every
+    {!Timeseries} point and every {!Alert} transition, replayable so
+    [provctl top --since <file>] and the alert engine see history
+    across restarts.
+
+    On-disk format: a [PTJ1] magic header, then per record a 4-byte LE
+    payload length, a 4-byte LE CRC-32 of the payload, and the payload
+    (tag byte, then the point snapshot or the transition).  The framing
+    discipline is the WAL v2 codec's: {!replay} verifies every frame
+    and keeps the longest clean prefix, so a crash-truncated or
+    corrupted tail is detected (flight incident, deduplicated per path,
+    plus {!Names.telemetry_journal_truncations}) and {!open_} cuts it
+    away before appending — recovery semantics identical to a torn WAL
+    segment. *)
+
+type t
+(** An open journal (append handle). *)
+
+type replay = {
+  rp_points : Timeseries.point list;  (** oldest first *)
+  rp_transitions : Alert.transition list;  (** oldest first *)
+  rp_records : int;  (** frames decoded from the clean prefix *)
+  rp_truncated : bool;  (** a torn or corrupt tail was cut away *)
+  rp_clean_bytes : int;  (** verified prefix length, magic included *)
+}
+
+val open_ : path:string -> t
+(** Open for appending, creating the file (with its magic header) if
+    missing.  An existing file is recovered first: the torn tail, if
+    any, is truncated back to the clean prefix, exactly once. *)
+
+val path : t -> string
+
+val append_point : t -> Timeseries.point -> unit
+(** Append one snapshot frame and flush.  Ticks
+    {!Names.telemetry_journal_appends}.  No-op after {!close}. *)
+
+val append_transition : t -> Alert.transition -> unit
+
+val close : t -> unit
+(** Idempotent. *)
+
+val attach : t -> unit
+(** Wire the journal into the live stream: a {!Timeseries} observer
+    appending every recorded point, and an {!Alert} transition hook
+    appending every fire/resolve.  Detach by
+    {!Timeseries.clear_observers} / {!Alert.clear_transition_hooks}. *)
+
+val replay : path:string -> replay
+(** Decode the journal's clean prefix (a missing file reads as empty).
+    Ticks {!Names.telemetry_journal_replays}; a torn tail additionally
+    ticks {!Names.telemetry_journal_truncations} and records a flight
+    incident (deduplicated by path). *)
+
+val replay_into : Timeseries.t -> path:string -> replay
+(** {!replay}, then {!Timeseries.push} each recovered point into the
+    ring — push, not record, so replay never re-triggers the observers
+    that wrote the journal. *)

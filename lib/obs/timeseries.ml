@@ -27,14 +27,26 @@ let capacity t = t.cap
 
 let m_points = Metrics.counter Names.timeseries_points
 
-let record ?now_ns t =
-  let now = match now_ns with Some n -> n | None -> Provkit_util.Timing.now_ns () in
-  let pt = { pt_ns = now; pt_snap = Metrics.snapshot () } in
+(* Point observers: the alert engine and the telemetry journal react to
+   every recorded point without this module depending on either.
+   Installed once at startup (or test setup), then only read. *)
+let observers : (point -> unit) list ref = ref []
+
+let add_observer f = observers := !observers @ [ f ]
+let clear_observers () = observers := []
+
+let push t pt =
   Queue.push pt t.q;
   while Queue.length t.q > t.cap do
     ignore (Queue.pop t.q)
-  done;
+  done
+
+let record ?now_ns t =
+  let now = match now_ns with Some n -> n | None -> Provkit_util.Timing.now_ns () in
+  let pt = { pt_ns = now; pt_snap = Metrics.snapshot () } in
+  push t pt;
   Metrics.incr m_points;
+  List.iter (fun f -> f pt) !observers;
   pt
 
 let points t = List.of_seq (Queue.to_seq t.q)
@@ -48,7 +60,9 @@ let deltas_between older newer =
     let dt = Int64.to_float (Int64.sub newer.pt_ns older.pt_ns) /. 1e9 in
     if dt > 0.0 then dt else 0.0
   in
-  let rate d = if dt_s > 0.0 then d /. dt_s else 0.0 in
+  (* A NaN or infinite gauge delta would poison the rate column (and
+     any alert rule reading it); report idle instead. *)
+  let rate d = if dt_s > 0.0 && Float.is_finite d then d /. dt_s else 0.0 in
   let row kind name prev cur ~monotonic =
     let delta = cur -. prev in
     (* A counter going backwards means the registry was reset between
@@ -142,8 +156,14 @@ let mangle name =
       | _ -> '_')
     name
 
+(* NaN and infinities are valid Prometheus sample tokens, but only as
+   "NaN"/"+Inf"/"-Inf" — OCaml's %g would print "nan"/"inf", which
+   scrapers reject. *)
 let fmt_float v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
 let prometheus (snap : Metrics.snapshot) =

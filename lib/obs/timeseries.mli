@@ -41,7 +41,21 @@ val capacity : t -> int
 val record : ?now_ns:int64 -> t -> point
 (** Snapshot every registered metric into a new point (evicting the
     oldest beyond capacity) and return it.  Ticks
-    {!Names.timeseries_points}. *)
+    {!Names.timeseries_points} and notifies every registered point
+    observer. *)
+
+val push : t -> point -> unit
+(** Insert an already-built point (evicting beyond capacity) without
+    snapshotting, ticking, or notifying observers — the journal-replay
+    path, which must not re-trigger the hooks that wrote the journal. *)
+
+val add_observer : (point -> unit) -> unit
+(** Register a callback invoked (in registration order) with every
+    point {!record} captures, into any ring.  The alert engine and the
+    durable telemetry journal attach here. *)
+
+val clear_observers : unit -> unit
+(** Drop every registered observer (test teardown). *)
 
 val points : t -> point list
 (** Ring contents, oldest first. *)

@@ -25,9 +25,30 @@ let ring : (int, entry) Hashtbl.t = Hashtbl.create 64
 
 let threshold_ns () = !threshold
 
+(* One hour: a "slow query" threshold beyond that is a typo (most
+   likely ms or s pasted where ns belong), not a configuration. *)
+let max_threshold_ns = 3_600_000_000_000
+
 let set_threshold_ns n =
   if n < 0 then invalid_arg "Slowlog.set_threshold_ns: must be non-negative";
+  if n > max_threshold_ns then
+    invalid_arg "Slowlog.set_threshold_ns: above the 1-hour ceiling (expected nanoseconds)";
   threshold := n
+
+(* PROV_SLOWLOG_NS overrides the default threshold at module load, the
+   same pattern as PROV_OBS.  Parsing is exposed pure so tests can
+   cover it without mutating the process environment: garbage and
+   out-of-range values are ignored, not fatal — a bad env var must not
+   take the whole CLI down. *)
+let threshold_of_env_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 && n <= max_threshold_ns -> Some n
+  | Some _ | None -> None
+
+let () =
+  match Sys.getenv_opt "PROV_SLOWLOG_NS" with
+  | None -> ()
+  | Some s -> ( match threshold_of_env_string s with Some n -> threshold := n | None -> ())
 
 let capacity () = !cap
 

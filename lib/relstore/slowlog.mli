@@ -31,7 +31,18 @@ type entry = {
 val threshold_ns : unit -> int
 val set_threshold_ns : int -> unit
 (** Queries at least this slow are noted.  Default 1 ms; [0] notes
-    every query.  Raises [Invalid_argument] when negative. *)
+    every query.  Raises [Invalid_argument] when negative or above
+    {!max_threshold_ns} (one hour — beyond that the value is almost
+    certainly ms or s pasted where ns belong). *)
+
+val max_threshold_ns : int
+(** 3_600_000_000_000 (one hour). *)
+
+val threshold_of_env_string : string -> int option
+(** Parse a [PROV_SLOWLOG_NS] value: a trimmed decimal int within
+    [0, {!max_threshold_ns}], anything else [None].  Applied to the
+    environment variable once at module load; exposed pure so tests
+    cover the guard without touching the process environment. *)
 
 val capacity : unit -> int
 val set_capacity : int -> unit

@@ -141,6 +141,35 @@ let fresh table =
 let invalidate table = Hashtbl.remove catalog (Table.uid table)
 let clear () = Hashtbl.reset catalog
 
+(* The freshness health check: the planner only benefits from the
+   catalog while every table's entry matches its current epoch.  A
+   stale or missing entry is not data loss — the planner falls back to
+   heuristics — so the worst this check reports is Degraded. *)
+let freshness_check db () =
+  let tables = Database.tables db in
+  let missing, stale =
+    List.fold_left
+      (fun (missing, stale) t ->
+        match lookup t with
+        | None -> (Table.name t :: missing, stale)
+        | Some s when s.ts_epoch = Table.epoch t -> (missing, stale)
+        | Some _ -> (missing, Table.name t :: stale))
+      ([], []) tables
+  in
+  match (List.rev missing, List.rev stale) with
+  | [], [] ->
+    (Obs.Health.Ok, Printf.sprintf "all %d table(s) analyzed and fresh" (List.length tables))
+  | missing, stale ->
+    let part label = function
+      | [] -> []
+      | names -> [ Printf.sprintf "%s: %s" label (String.concat ", " names) ]
+    in
+    ( Obs.Health.Degraded,
+      String.concat "; " (part "never analyzed" missing @ part "stale" stale) )
+
+let register_health_check db =
+  Obs.Health.register Obs.Names.health_stats_fresh (freshness_check db)
+
 (* --- estimation --- *)
 
 let default_eq_sel = 0.1

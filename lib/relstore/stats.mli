@@ -67,6 +67,16 @@ val fresh : Table.t -> table_stats option
 val invalidate : Table.t -> unit
 val clear : unit -> unit
 
+val freshness_check : Database.t -> unit -> Provkit_obs.Health.verdict * string
+(** The catalog-freshness judgment over every table of the database:
+    all entries present and epoch-fresh reads as [Ok]; any table never
+    analyzed or analyzed before its last mutation reads as [Degraded]
+    (the planner falls back to heuristics — degraded, not broken). *)
+
+val register_health_check : Database.t -> unit
+(** Register {!freshness_check} with {!Provkit_obs.Health} under
+    {!Provkit_obs.Names.health_stats_fresh}. *)
+
 (** {2 Estimation}
 
     All estimates are row counts against the analyzed table (scale by

@@ -1,0 +1,169 @@
+(* Health-aggregator tests.  The check registry is process-global, so
+   every scratch check registered here is unregistered in a teardown;
+   the built-in alerts check (registered when Provkit_obs.Health loads)
+   is left in place and driven through the alert engine. *)
+
+module Health = Provkit_obs.Health
+module Alert = Provkit_obs.Alert
+module Names = Provkit_obs.Names
+
+let verdict =
+  Alcotest.testable (fun fmt v -> Format.pp_print_string fmt (Health.verdict_name v)) ( = )
+
+let with_checks names f =
+  Fun.protect ~finally:(fun () -> List.iter Health.unregister names) f
+
+let find_check report name =
+  match List.find_opt (fun cr -> cr.Health.cr_name = name) report.Health.h_checks with
+  | Some cr -> cr
+  | None -> Alcotest.fail ("check missing from report: " ^ name)
+
+let test_worst () =
+  Alcotest.check verdict "ok+ok" Health.Ok (Health.worst Health.Ok Health.Ok);
+  Alcotest.check verdict "ok+degraded" Health.Degraded (Health.worst Health.Ok Health.Degraded);
+  Alcotest.check verdict "degraded+failing" Health.Failing
+    (Health.worst Health.Degraded Health.Failing);
+  Alcotest.check verdict "failing+ok" Health.Failing (Health.worst Health.Failing Health.Ok)
+
+let test_composition_and_order () =
+  with_checks [ "health.test.a"; "health.test.b"; "health.test.c" ] @@ fun () ->
+  Health.register "health.test.a" (fun () -> (Health.Ok, "fine"));
+  Health.register "health.test.b" (fun () -> (Health.Degraded, "wobbly"));
+  Health.register "health.test.c" (fun () -> (Health.Ok, "also fine"));
+  let report = Health.run () in
+  Alcotest.check verdict "overall is the worst check" Health.Degraded report.Health.h_verdict;
+  let ours =
+    List.filter
+      (fun cr -> String.length cr.Health.cr_name >= 12
+                 && String.sub cr.Health.cr_name 0 12 = "health.test.")
+      report.Health.h_checks
+  in
+  Alcotest.(check (list string)) "registration order preserved"
+    [ "health.test.a"; "health.test.b"; "health.test.c" ]
+    (List.map (fun cr -> cr.Health.cr_name) ours);
+  Alcotest.(check int) "exit 0 while not failing" 0 (Health.exit_code report);
+  (* Replace b in place: same slot, new verdict. *)
+  Health.register "health.test.b" (fun () -> (Health.Failing, "broken"));
+  let report = Health.run () in
+  Alcotest.check verdict "replacement verdict" Health.Failing
+    (find_check report "health.test.b").Health.cr_verdict;
+  Alcotest.check verdict "overall failing" Health.Failing report.Health.h_verdict;
+  Alcotest.(check int) "exit 1 on failing" 1 (Health.exit_code report)
+
+let test_raising_check_reads_failing () =
+  with_checks [ "health.test.raises" ] @@ fun () ->
+  Health.register "health.test.raises" (fun () -> failwith "probe exploded");
+  let cr = find_check (Health.run ()) "health.test.raises" in
+  Alcotest.check verdict "exception = failing" Health.Failing cr.Health.cr_verdict;
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "detail carries the exception" true
+    (contains cr.Health.cr_detail "probe exploded")
+
+let test_alerts_check_tracks_engine () =
+  Alert.reset ();
+  Fun.protect ~finally:Alert.reset @@ fun () ->
+  let fire ~id ~severity =
+    Alert.register
+      {
+        Alert.r_id = id;
+        r_signal = Alert.Gauge_value "test.health.signal";
+        r_condition = Alert.Above 1.0;
+        r_for_ns = 0L;
+        r_severity = severity;
+        r_describe = "health-check driver";
+      };
+    let pt v ns =
+      {
+        Provkit_obs.Timeseries.pt_ns = ns;
+        pt_snap =
+          { Provkit_obs.Metrics.snap_counters = [];
+            snap_gauges = [ ("test.health.signal", v) ]; snap_histograms = [] };
+      }
+    in
+    Alert.feed (pt 0.0 100L);
+    Alert.feed (pt 5.0 200L)
+  in
+  (* Nothing firing: ok. *)
+  let cr = find_check (Health.run ()) Names.health_alerts_clear in
+  Alcotest.check verdict "quiet engine = ok" Health.Ok cr.Health.cr_verdict;
+  (* A warning firing: degraded, never failing. *)
+  fire ~id:"alert.test.warn" ~severity:Alert.Warning;
+  let cr = find_check (Health.run ()) Names.health_alerts_clear in
+  Alcotest.check verdict "warning = degraded" Health.Degraded cr.Health.cr_verdict;
+  (* A critical firing: failing, and the overall verdict follows. *)
+  fire ~id:"alert.test.crit" ~severity:Alert.Critical;
+  let report = Health.run () in
+  let cr = find_check report Names.health_alerts_clear in
+  Alcotest.check verdict "critical = failing" Health.Failing cr.Health.cr_verdict;
+  Alcotest.check verdict "overall follows" Health.Failing report.Health.h_verdict;
+  Alcotest.(check int) "provctl health would exit 1" 1 (Health.exit_code report);
+  (* Clearing the engine clears the check. *)
+  Alert.reset ();
+  let cr = find_check (Health.run ()) Names.health_alerts_clear in
+  Alcotest.check verdict "reset engine = ok again" Health.Ok cr.Health.cr_verdict
+
+let test_render_and_json () =
+  with_checks [ "health.test.render" ] @@ fun () ->
+  Health.register "health.test.render" (fun () -> (Health.Degraded, "wob\"bly"));
+  let report = Health.run () in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+    go 0
+  in
+  let text = Health.render report in
+  Alcotest.(check bool) "table row" true (contains text "health.test.render");
+  Alcotest.(check bool) "overall line" true (contains text "overall:");
+  let json = Health.to_json report in
+  Alcotest.(check bool) "json name" true (contains json "\"health.test.render\"");
+  Alcotest.(check bool) "json verdict" true (contains json "\"degraded\"");
+  Alcotest.(check bool) "json escapes detail" true (contains json "wob\\\"bly")
+
+let test_wal_manifest_check () =
+  let module Seg = Core.Prov_log.Segmented in
+  Test_wal.with_temp_dir @@ fun parent ->
+  (* Not created yet: degraded (nothing durable), not failing. *)
+  let missing = Filename.concat parent "never-created" in
+  let v, _ = Seg.manifest_check ~dir:missing () in
+  Alcotest.check verdict "missing dir = degraded" Health.Degraded v;
+  (* Directory exists but holds no manifest yet: still degraded. *)
+  let empty = Filename.concat parent "empty" in
+  Sys.mkdir empty 0o700;
+  let v, _ = Seg.manifest_check ~dir:empty () in
+  Alcotest.check verdict "no manifest yet = degraded" Health.Degraded v;
+  let dir = Filename.concat parent "wal" in
+  let wal = Seg.open_ dir in
+  Seg.append wal (Core.Prov_log.Close_node { id = 1; time = 5 });
+  Seg.close wal;
+  let v, detail = Seg.manifest_check ~dir () in
+  Alcotest.check verdict "healthy wal = ok" Health.Ok v;
+  (* Deleting a manifest-named segment must read as failing. *)
+  let seg =
+    match
+      List.find_opt
+        (fun f -> Filename.check_suffix f ".log")
+        (List.sort compare (Array.to_list (Sys.readdir dir)))
+    with
+    | Some f -> Filename.concat dir f
+    | None -> Alcotest.fail ("no segment found in " ^ dir ^ " (" ^ detail ^ ")")
+  in
+  Sys.remove seg;
+  let v, _ = Seg.manifest_check ~dir () in
+  Alcotest.check verdict "manifest names missing file = failing" Health.Failing v
+
+let suite =
+  [
+    Alcotest.test_case "worst-verdict lattice" `Quick test_worst;
+    Alcotest.test_case "composition, order, replace, exit code" `Quick
+      test_composition_and_order;
+    Alcotest.test_case "raising check reads as failing" `Quick
+      test_raising_check_reads_failing;
+    Alcotest.test_case "built-in alerts check tracks the engine" `Quick
+      test_alerts_check_tracks_engine;
+    Alcotest.test_case "render and json" `Quick test_render_and_json;
+    Alcotest.test_case "wal manifest check verdicts" `Quick test_wal_manifest_check;
+  ]

@@ -13,6 +13,9 @@ let () =
       ("obs.metrics", Test_obs.suite);
       ("obs.hyperloglog", Test_hll.suite);
       ("obs.timeseries", Test_timeseries.suite);
+      ("obs.alert", Test_alert.suite);
+      ("obs.health", Test_health.suite);
+      ("obs.telemetry_log", Test_telemetry_log.suite);
       ("obs.integration", Test_obs_integration.suite);
       ("util.faulty_io", Test_faulty_io.suite);
       ("relstore.codec", Test_relstore_codec.suite);

@@ -239,6 +239,74 @@ let g () = Obs.Trace.record Obs.Names.span_unused 1
   in
   check_count "ad-hoc span literal in bin/ is fine" "obs-names" 0 fs
 
+(* Alert rule ids and health check names ride the same two-way contract
+   as metrics: a shaped literal in lib/ or bin/ must be registered in
+   names.ml, and a registered constant must be used somewhere.  Reason
+   strings with fewer than three dotted segments ("alert.fired") have
+   no id shape and stay exempt. *)
+let obs_alert_health_flagging () =
+  let root =
+    scratch_tree "obs_alert_flag"
+      [
+        ( "lib/obs/names.ml",
+          {|
+let used = "prov.fixture.used"
+let alert_ok = "alert.fixture.ok"
+let alert_unused = "alert.fixture.unused"
+let health_ok = "health.fixture.ok"
+let health_unused = "health.fixture.unused"
+|}
+        );
+        ( "lib/user.ml",
+          {|
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.alert_ok
+let () = ignore Obs.Names.health_ok
+let stray_rule = "alert.fixture.stray"
+let stray_check = "health.fixture.stray"
+let reason = "alert.fired"
+|} );
+      ]
+  in
+  let fs =
+    Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
+  in
+  check_count "stray alert + unused alert + stray health + unused health" "obs-names" 4 fs;
+  let has needle =
+    List.exists (fun f -> Provkit_util.Strutil.contains_substring ~needle f.Finding.message) fs
+  in
+  Alcotest.(check bool) "flags the unregistered rule id" true (has "alert.fixture.stray");
+  Alcotest.(check bool) "flags the unused rule id" true (has "alert.fixture.unused");
+  Alcotest.(check bool) "flags the unregistered check name" true (has "health.fixture.stray");
+  Alcotest.(check bool) "flags the unused check name" true (has "health.fixture.unused");
+  Alcotest.(check bool) "short reason strings stay exempt" false (has "alert.fired")
+
+let obs_alert_health_clean () =
+  let root =
+    scratch_tree "obs_alert_ok"
+      [
+        ( "lib/obs/names.ml",
+          {|
+let used = "prov.fixture.used"
+let alert_ok = "alert.fixture.ok"
+let health_ok = "health.fixture.ok"
+|}
+        );
+        (* One id referenced through Names, the other by its literal —
+           both count as used; the literal is registered so not stray. *)
+        ( "lib/user.ml",
+          {|
+let () = ignore Obs.Names.used
+let () = ignore Obs.Names.alert_ok
+let check = "health.fixture.ok"
+|} );
+      ]
+  in
+  let fs =
+    Driver.lint_files ~checks:[ "obs-names" ] ~root [ "lib/obs/names.ml"; "lib/user.ml" ]
+  in
+  check_count "registered + used alert/health names are clean" "obs-names" 0 fs
+
 (* --- grep parity with the retired tools/obs_lint.sh ------------------ *)
 
 (* The old gate grepped lib/ and bin/ for string literals shaped like
@@ -644,6 +712,8 @@ let suite =
     Alcotest.test_case "obs-names flags" `Quick obs_flagging;
     Alcotest.test_case "obs-names suppressed" `Quick obs_suppressed;
     Alcotest.test_case "obs-names span bin exempt" `Quick obs_span_bin_exempt;
+    Alcotest.test_case "obs-names alert/health flags" `Quick obs_alert_health_flagging;
+    Alcotest.test_case "obs-names alert/health clean" `Quick obs_alert_health_clean;
     Alcotest.test_case "obs-names grep parity" `Quick grep_parity;
     Alcotest.test_case "epoch-discipline flags" `Quick epoch_flagging;
     Alcotest.test_case "epoch-discipline suppressed" `Quick epoch_suppressed;

@@ -154,7 +154,28 @@ let test_invalid_knobs () =
       Slowlog.set_threshold_ns (-1));
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Slowlog.set_capacity: must be positive") (fun () ->
-      Slowlog.set_capacity 0)
+      Slowlog.set_capacity 0);
+  Alcotest.check_raises "threshold above the 1-hour ceiling"
+    (Invalid_argument
+       "Slowlog.set_threshold_ns: above the 1-hour ceiling (expected nanoseconds)")
+    (fun () -> Slowlog.set_threshold_ns (Slowlog.max_threshold_ns + 1))
+
+let test_threshold_env_parsing () =
+  (* The PROV_SLOWLOG_NS parser is lenient by design: a bad value must
+     leave the default in place, never take the process down. *)
+  let check_parse name input expect =
+    Alcotest.(check (option int)) name expect (Slowlog.threshold_of_env_string input)
+  in
+  check_parse "plain number" "250000" (Some 250_000);
+  check_parse "zero allowed (log everything)" "0" (Some 0);
+  check_parse "surrounding whitespace trimmed" "  42000\n" (Some 42_000);
+  check_parse "ceiling value accepted" (string_of_int Slowlog.max_threshold_ns)
+    (Some Slowlog.max_threshold_ns);
+  check_parse "negative rejected" "-1" None;
+  check_parse "above ceiling rejected" (string_of_int (Slowlog.max_threshold_ns + 1)) None;
+  check_parse "garbage rejected" "fast" None;
+  check_parse "float rejected" "1.5e6" None;
+  check_parse "empty rejected" "" None
 
 let test_executor_feeds_log () =
   with_slowlog ~threshold:0 @@ fun () ->
@@ -188,7 +209,7 @@ let test_executor_feeds_log () =
     (List.length selects)
 
 let test_threshold_filters () =
-  with_slowlog ~threshold:max_int @@ fun () ->
+  with_slowlog ~threshold:Slowlog.max_threshold_ns @@ fun () ->
   let t = R.Table.create (R.Schema.make ~name:"items" [ R.Column.make "qty" R.Value.Tint ]) in
   ignore (R.Table.insert_fields t [ ("qty", R.Value.Int 1) ]);
   ignore (R.Query_exec.select_stats t);
@@ -206,6 +227,7 @@ let suite =
     Alcotest.test_case "dump/load jsonl round-trip" `Quick test_jsonl_dump_load;
     Alcotest.test_case "malformed json rejected" `Quick test_malformed_json;
     Alcotest.test_case "invalid knobs rejected" `Quick test_invalid_knobs;
+    Alcotest.test_case "PROV_SLOWLOG_NS parsing" `Quick test_threshold_env_parsing;
     Alcotest.test_case "executor feeds the log" `Quick test_executor_feeds_log;
     Alcotest.test_case "threshold filters fast queries" `Quick test_threshold_filters;
   ]

@@ -160,6 +160,156 @@ let test_render_has_all_series () =
       | Some s -> Alcotest.check feq "last_deltas agrees" 3.0 s.Ts.s_delta
       | None -> Alcotest.fail "series missing from last_deltas")
 
+(* --- exposition edge cases ------------------------------------------- *)
+
+let occurs_in text needle =
+  let nl = String.length needle and hl = String.length text in
+  let rec go i = i + nl <= hl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_nonfinite_gauges () =
+  (* Prometheus text exposition spells non-finite samples "NaN", "+Inf"
+     and "-Inf" — %g's "nan"/"inf" would be rejected by scrapers.  Built
+     from a synthetic snapshot so no real gauge has to go non-finite. *)
+  let snap =
+    {
+      Metrics.snap_counters = [];
+      snap_gauges =
+        [
+          ("test.timeseries.g_nan", Float.nan);
+          ("test.timeseries.g_pinf", Float.infinity);
+          ("test.timeseries.g_ninf", Float.neg_infinity);
+        ];
+      snap_histograms = [];
+    }
+  in
+  let text = Ts.prometheus snap in
+  let contains needle =
+    if not (occurs_in text needle) then Alcotest.failf "exposition missing %S" needle
+  in
+  contains "test_timeseries_g_nan NaN";
+  contains "test_timeseries_g_pinf +Inf";
+  contains "test_timeseries_g_ninf -Inf";
+  if occurs_in text " nan" || occurs_in text " inf" then
+    Alcotest.fail "lowercase non-finite token leaked into exposition"
+
+let test_prometheus_empty_snapshot () =
+  let empty = { Metrics.snap_counters = []; snap_gauges = []; snap_histograms = [] } in
+  Alcotest.(check string) "empty snapshot, empty exposition" "" (Ts.prometheus empty)
+
+let test_rate_guards () =
+  (* Zero-width interval and non-finite gauge deltas must both read as
+     rate 0, not NaN/Inf rows. *)
+  let pt ns g =
+    {
+      Ts.pt_ns = ns;
+      pt_snap =
+        { Metrics.snap_counters = [ ("test.timeseries.guard_c", 5) ];
+          snap_gauges = [ ("test.timeseries.guard_g", g) ]; snap_histograms = [] };
+    }
+  in
+  (* dt = 0: every rate is 0 even with a real delta. *)
+  (match find_series "test.timeseries.guard_c" (Ts.deltas_between (pt 7L 1.0) (pt 7L 1.0)) with
+  | Some s -> Alcotest.check feq "zero-dt rate" 0.0 s.Ts.s_rate
+  | None -> Alcotest.fail "counter series missing");
+  (* NaN gauge: the delta is NaN but the rate column stays finite. *)
+  (match
+     find_series "test.timeseries.guard_g"
+       (Ts.deltas_between (pt 1_000_000_000L 1.0) (pt 2_000_000_000L Float.nan))
+   with
+  | Some s ->
+    Alcotest.(check bool) "rate guarded against NaN" true (Float.is_finite s.Ts.s_rate);
+    Alcotest.check feq "guarded rate is 0" 0.0 s.Ts.s_rate
+  | None -> Alcotest.fail "gauge series missing");
+  (* Infinite gauge jump: same guard. *)
+  match
+    find_series "test.timeseries.guard_g"
+      (Ts.deltas_between (pt 1_000_000_000L 1.0) (pt 2_000_000_000L Float.infinity))
+  with
+  | Some s -> Alcotest.check feq "rate guarded against Inf" 0.0 s.Ts.s_rate
+  | None -> Alcotest.fail "gauge series missing"
+
+let test_counter_reset_clamp_renders () =
+  (* A clamped reset must render as an idle row (delta 0, rate 0.0) —
+     not as a negative delta. *)
+  let pt ns v =
+    {
+      Ts.pt_ns = ns;
+      pt_snap =
+        { Metrics.snap_counters = [ ("test.timeseries.reset_render", v) ];
+          snap_gauges = []; snap_histograms = [] };
+    }
+  in
+  let series = Ts.deltas_between (pt 1_000_000_000L 100) (pt 2_000_000_000L 1) in
+  let out = Ts.render series in
+  if not (occurs_in out "test.timeseries.reset_render") then
+    Alcotest.fail "clamped series missing from render";
+  if occurs_in out "-99" then Alcotest.fail "negative delta rendered after a counter reset";
+  match find_series "test.timeseries.reset_render" series with
+  | Some s ->
+    Alcotest.check feq "clamped delta" 0.0 s.Ts.s_delta;
+    Alcotest.check feq "clamped rate" 0.0 s.Ts.s_rate
+  | None -> Alcotest.fail "series missing"
+
+let test_alert_state_gauge_roundtrip () =
+  (* The alert-state exposition must agree with the engine's state both
+     ways: parse every sample line back and compare with st_firing. *)
+  let module Alert = Provkit_obs.Alert in
+  Alert.reset ();
+  Fun.protect ~finally:Alert.reset @@ fun () ->
+  let rule id =
+    {
+      Alert.r_id = id;
+      r_signal = Alert.Gauge_value "test.timeseries.alert_sig";
+      r_condition = Alert.Above 1.0;
+      r_for_ns = 0L;
+      r_severity = Alert.Info;
+      r_describe = "exposition round-trip";
+    }
+  in
+  Alert.register (rule "alert.test.ts_quiet");
+  Alert.register (rule "alert.test.ts_loud");
+  (* Fire only the second rule by swapping its condition. *)
+  Alert.register { (rule "alert.test.ts_loud") with Alert.r_condition = Alert.Below 1.0 };
+  let pt ns =
+    {
+      Ts.pt_ns = ns;
+      pt_snap =
+        { Metrics.snap_counters = [];
+          snap_gauges = [ ("test.timeseries.alert_sig", 0.5) ]; snap_histograms = [] };
+    }
+  in
+  Alert.feed (pt 100L);
+  Alert.feed (pt 200L);
+  let text = Alert.prometheus_states () in
+  let parsed =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '{' with
+        | Some _ when String.length line > 0 && line.[0] <> '#' -> (
+          match String.split_on_char '"' line with
+          | [ _; rule_id; rest ] when String.length rest > 1 ->
+            (* [rest] is ["} <value>"]: drop the brace, keep the sample. *)
+            Some (rule_id, String.trim (String.sub rest 1 (String.length rest - 1)))
+          | _ -> None)
+        | _ -> None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "one sample per rule" 2 (List.length parsed);
+  List.iter
+    (fun st ->
+      let id = st.Alert.st_rule.Alert.r_id in
+      match List.assoc_opt id parsed with
+      | Some v ->
+        Alcotest.(check string)
+          (id ^ " state matches")
+          (if st.Alert.st_firing then "1" else "0")
+          v
+      | None -> Alcotest.failf "rule %s missing from exposition" id)
+    (Alert.states ());
+  Alcotest.(check bool) "the loud rule is firing" true
+    (match Alert.find "alert.test.ts_loud" with Some st -> st.Alert.st_firing | None -> false)
+
 let suite =
   [
     Alcotest.test_case "deltas and rates, hand-computed" `Quick test_deltas_and_rates;
@@ -171,4 +321,12 @@ let suite =
       test_pulse_disabled_is_silent;
     Alcotest.test_case "prometheus exposition format" `Quick test_prometheus_exposition;
     Alcotest.test_case "render and last_deltas" `Quick test_render_has_all_series;
+    Alcotest.test_case "non-finite gauges in exposition" `Quick
+      test_prometheus_nonfinite_gauges;
+    Alcotest.test_case "empty snapshot exposition" `Quick test_prometheus_empty_snapshot;
+    Alcotest.test_case "rate guards: zero dt, NaN, Inf" `Quick test_rate_guards;
+    Alcotest.test_case "counter reset renders as idle" `Quick
+      test_counter_reset_clamp_renders;
+    Alcotest.test_case "alert-state gauge round-trip" `Quick
+      test_alert_state_gauge_roundtrip;
   ]

@@ -6,10 +6,20 @@
 #   1. a quick bench run must produce a valid provkit-bench/1 artifact;
 #   2. comparing the artifact against itself must pass;
 #   3. a synthetic 2x regression must make bench_compare.sh fail.
+#
+# The run's artifact is kept (not just checked and thrown away with the
+# temp dir): it is copied to BENCH_<date>.json in BENCH_ARTIFACT_DIR
+# (default: the working directory), so every runtest leaves a bench
+# trajectory point.  When a committed BENCH_*.json baseline exists next
+# to tools/, the fresh artifact is also compared against it — advisory
+# only (a warning, not a failure): absolute timings are not portable
+# across machines, and the hard gates below already cover the invariants
+# that are.
 set -eu
 
 bench_exe="${1:?usage: bench_smoke.sh BENCH_EXE}"
 here="$(cd "$(dirname "$0")" && pwd)"
+root="$(dirname "$here")"
 work="$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")"
 trap 'rm -rf "$work"' EXIT
 
@@ -27,7 +37,7 @@ grep -q '"ns_per_op":' "$work/base.json" ||
 for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched \
            matview-update cold-rescan \
            stats-analyze estimate-error-heuristic estimate-error-stats \
-           lint-full-tree; do
+           lint-full-tree alert-eval; do
   grep -q "\"name\":\"$row\"" "$work/base.json" ||
     { echo "bench_smoke: artifact missing expected row $row"; exit 1; }
 done
@@ -48,6 +58,29 @@ heur_err="$(grep '"name":"estimate-error-heuristic"' "$work/base.json" | sed 's/
 stats_err="$(grep '"name":"estimate-error-stats"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
 awk -v h="$heur_err" -v s="$stats_err" 'BEGIN { exit !(s >= 1 && h > s) }' ||
   { echo "bench_smoke: stats estimate error ($stats_err) not below heuristic ($heur_err)"; exit 1; }
+
+# Alert rules run on every pulse point; evaluation must stay cheap in
+# absolute terms (ns per rule per point — 20 us is already two orders
+# of magnitude above the expected cost, so this only catches blowups).
+alert_ns="$(grep '"name":"alert-eval"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+awk -v a="$alert_ns" 'BEGIN { exit !(a > 0 && a < 20000) }' ||
+  { echo "bench_smoke: alert-eval ($alert_ns ns/rule/point) outside (0, 20000)"; exit 1; }
+
+# Keep the trajectory: pick the committed baseline (if any) before the
+# fresh copy lands, then persist this run's artifact.
+baseline="$(ls "$root"/BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+artifact_dir="${BENCH_ARTIFACT_DIR:-$PWD}"
+stamp="$(date +%Y-%m-%d)"
+cp "$work/base.json" "$artifact_dir/BENCH_$stamp.json" 2>/dev/null ||
+  echo "bench_smoke: warning: could not persist artifact to $artifact_dir"
+if [ -n "$baseline" ] && [ -f "$baseline" ]; then
+  if bash "$here/bench_compare.sh" "$baseline" "$work/base.json" 400 > "$work/trend.txt" 2>&1; then
+    echo "bench_smoke: within 400% of committed baseline $(basename "$baseline")"
+  else
+    echo "bench_smoke: warning: drift against committed baseline $(basename "$baseline") (advisory)"
+    cat "$work/trend.txt"
+  fi
+fi
 
 # First-run grace: a missing baseline must skip cleanly, not fail.
 bash "$here/bench_compare.sh" "$work/no_such_baseline.json" "$work/base.json" > /dev/null ||
