@@ -537,6 +537,87 @@ let run_alert measured =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.96: provd — concurrent ingest and snapshot-read latency       *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving front-end's two acceptance numbers, from one real
+   multi-domain run of the loadgen engine: wall-clock ns per ingested
+   event across the whole fleet (queue + batch + matview + snapshot
+   republish), and the p99 snapshot-read latency the read workers
+   observed while ingest was running. *)
+let measure_daemon () =
+  let events = if quick then 150 else 600 in
+  let cfg =
+    {
+      Daemon.Provd.default with
+      Daemon.Provd.sessions = 4;
+      events_per_session = events;
+      seed;
+    }
+  in
+  let r = Daemon.Provd.run cfg in
+  let per_event =
+    if r.Daemon.Provd.r_events > 0 then
+      float_of_int r.Daemon.Provd.r_elapsed_ns /. float_of_int r.Daemon.Provd.r_events
+    else 0.0
+  in
+  [
+    ("daemon-ingest", r.Daemon.Provd.r_events, per_event);
+    ("daemon-query-p99", r.Daemon.Provd.r_reads, float_of_int r.Daemon.Provd.r_read_p99_ns);
+  ]
+
+let run_daemon measured =
+  print_endline "== provd (4-session fleet; ingest ns/event, read p99 ns) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "row"; "ns" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.0f" ns ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 1.97: strict-range planner — index path vs full scan            *)
+(* ------------------------------------------------------------------ *)
+
+(* The planner-bugfix acceptance pair: a strict `<` predicate over the
+   same data and selectivity, once on an indexed column (the path the
+   fix reopened — strict bounds used to fall back to scanning) and once
+   on an unindexed copy of the column.  bench_smoke.sh gates the index
+   side at >= 5x. *)
+let measure_range () =
+  let n_rows = if quick then 4_000 else 20_000 in
+  let t =
+    Relstore.Table.create
+      (Relstore.Schema.make ~name:"bench_range"
+         [
+           Relstore.Column.make "day" Relstore.Value.Tint;
+           Relstore.Column.make "day_raw" Relstore.Value.Tint;
+         ])
+  in
+  Relstore.Table.add_index t ~name:"by_day" ~columns:[ "day" ];
+  for i = 1 to n_rows do
+    let d = i mod 100 in
+    ignore
+      (Relstore.Table.insert_fields t
+         [ ("day", Relstore.Value.Int d); ("day_raw", Relstore.Value.Int d) ])
+  done;
+  let indexed = Relstore.Predicate.Cmp (Relstore.Predicate.Lt, "day", Relstore.Value.Int 3) in
+  let scanned = Relstore.Predicate.Cmp (Relstore.Predicate.Lt, "day_raw", Relstore.Value.Int 3) in
+  let iters = if quick then 100 else 400 in
+  Relstore.Query_exec.set_cache_enabled false;
+  let scan_ns =
+    time_per_op iters 1 (fun () -> ignore (Relstore.Query_exec.select ~where:scanned t))
+  in
+  let index_ns =
+    time_per_op iters 1 (fun () -> ignore (Relstore.Query_exec.select ~where:indexed t))
+  in
+  Relstore.Query_exec.set_cache_enabled true;
+  [ ("range-strict-full-scan", iters, scan_ns); ("range-strict-index", iters, index_ns) ]
+
+let run_range measured =
+  print_endline "== strict-range planner (same selectivity; ns/query) ==\n";
+  Provkit_util.Table_fmt.print ~header:[ "path"; "ns/query" ]
+    (List.map (fun (name, _, ns) -> [ name; Printf.sprintf "%.0f" ns ]) measured);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: experiment tables                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -569,7 +650,7 @@ let iso_date () =
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
-let write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~overhead =
+let write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~daemon ~range ~overhead =
   let ds = Lazy.force dataset in
   let path =
     match Sys.getenv_opt "BENCH_OUT" with
@@ -589,7 +670,7 @@ let write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~overhead =
   Buffer.add_string buf "  \"rows\": [\n";
   let all_rows =
     List.map (fun (name, ns) -> (name, micro_iters, ns)) micro
-    @ hot @ matview @ stats @ lint @ alert
+    @ hot @ matview @ stats @ lint @ alert @ daemon @ range
   in
   List.iteri
     (fun i (name, iters, ns) ->
@@ -638,7 +719,12 @@ let () =
   run_lint lint;
   let alert = measure_alert () in
   run_alert alert;
+  let daemon = measure_daemon () in
+  run_daemon daemon;
+  let range = measure_range () in
+  run_range range;
   let overhead = measure_obs_overhead () in
   run_obs_overhead overhead;
-  if json_mode then write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~overhead
+  if json_mode then
+    write_artifact ~micro ~hot ~matview ~stats ~lint ~alert ~daemon ~range ~overhead
   else run_experiments ()

@@ -14,6 +14,8 @@
      sql          ad-hoc SQL over any saved database
      wal          segmented write-ahead journal + crash/corruption injection
      matview      incremental materialized views: status, values, refresh
+     serve        multi-domain daemon: ingest + snapshot reads + background jobs
+     loadgen      deterministic load driver for the daemon ingest path
      experiments  regenerate every paper experiment table *)
 
 open Cmdliner
@@ -1208,6 +1210,157 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate every paper experiment table")
     Term.(const experiments $ seed_arg $ quick_arg)
 
+(* --- serve / loadgen -------------------------------------------------- *)
+
+let daemon_config sessions events queue batch snapshot_every readers read_mix
+    analyze_every compact_every seed wal_dir =
+  {
+    Daemon.Provd.sessions;
+    events_per_session = events;
+    queue_capacity = queue;
+    batch_size = batch;
+    snapshot_every;
+    read_workers = readers;
+    read_mix;
+    analyze_every;
+    compact_every;
+    seed;
+    wal_dir;
+  }
+
+let print_report ~json (r : Daemon.Provd.report) =
+  let elapsed_s = float_of_int r.Daemon.Provd.r_elapsed_ns /. 1e9 in
+  let rate =
+    if elapsed_s > 0. then float_of_int r.Daemon.Provd.r_events /. elapsed_s else 0.
+  in
+  let q = r.Daemon.Provd.r_queue in
+  if json then
+    Printf.printf
+      "{\"events\":%d,\"batches\":%d,\"snapshots\":%d,\"reads\":%d,\"read_p99_ns\":%d,\"elapsed_ns\":%d,\"events_per_sec\":%.1f,\"queue_max_depth\":%d,\"jobs\":%d,\"wal_appended\":%d}\n"
+      r.Daemon.Provd.r_events r.Daemon.Provd.r_batches r.Daemon.Provd.r_snapshots
+      r.Daemon.Provd.r_reads r.Daemon.Provd.r_read_p99_ns r.Daemon.Provd.r_elapsed_ns rate
+      q.Daemon.Event_queue.max_depth r.Daemon.Provd.r_jobs r.Daemon.Provd.r_wal_appended
+  else begin
+    Printf.printf "ingested %d events in %d batches over %.3fs (%.0f events/sec)\n"
+      r.Daemon.Provd.r_events r.Daemon.Provd.r_batches elapsed_s rate;
+    Printf.printf "queue: %d pushed, %d popped, high-water %d, residual %d\n"
+      q.Daemon.Event_queue.pushed q.Daemon.Event_queue.popped
+      q.Daemon.Event_queue.max_depth q.Daemon.Event_queue.depth;
+    Printf.printf "snapshots published: %d; reads served: %d (p99 %.3f ms)\n"
+      r.Daemon.Provd.r_snapshots r.Daemon.Provd.r_reads
+      (float_of_int r.Daemon.Provd.r_read_p99_ns /. 1e6);
+    Printf.printf "background jobs: %d; WAL ops appended: %d\n" r.Daemon.Provd.r_jobs
+      r.Daemon.Provd.r_wal_appended;
+    let nodes = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Daemon.Provd.r_node_kinds in
+    let edges = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Daemon.Provd.r_edge_kinds in
+    Printf.printf "matviews: %d nodes, %d edges across kinds\n" nodes edges
+  end
+
+let serve sessions events queue batch snapshot_every readers read_mix analyze_every
+    compact_every seed wal_dir json =
+  let cfg =
+    daemon_config sessions events queue batch snapshot_every readers read_mix
+      analyze_every compact_every seed wal_dir
+  in
+  let t = Daemon.Provd.start cfg in
+  Daemon.Provd.register_health_check t;
+  let report = Daemon.Provd.wait t in
+  print_report ~json report;
+  let h = Provkit_obs.Health.run () in
+  let verdict =
+    match h.Provkit_obs.Health.h_verdict with
+    | Provkit_obs.Health.Ok -> "ok"
+    | Provkit_obs.Health.Degraded -> "degraded"
+    | Provkit_obs.Health.Failing -> "failing"
+  in
+  if json then Printf.printf "{\"health\":\"%s\"}\n" verdict
+  else Printf.printf "health: %s\n" verdict
+
+let loadgen sessions events read_mix seed json =
+  (* Memory-only throughput probe: same engine as serve, no WAL, no
+     background jobs — what the bench's daemon-ingest row measures. *)
+  let cfg =
+    {
+      Daemon.Provd.default with
+      Daemon.Provd.sessions;
+      events_per_session = events;
+      read_mix;
+      seed;
+    }
+  in
+  print_report ~json (Daemon.Provd.run cfg)
+
+let serve_sessions_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent producer sessions (one domain each).")
+
+let serve_events_arg =
+  Arg.(value & opt int 500 & info [ "events" ] ~docv:"N" ~doc:"Events per session.")
+
+let serve_queue_arg =
+  Arg.(value & opt int 512 & info [ "queue" ] ~docv:"N" ~doc:"Bounded ingest queue capacity.")
+
+let serve_batch_arg =
+  Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc:"Max events per ingest batch.")
+
+let serve_snapshot_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "snapshot-every" ] ~docv:"N" ~doc:"Publish a read snapshot every N batches.")
+
+let serve_readers_arg =
+  Arg.(value & opt int 2 & info [ "readers" ] ~docv:"N" ~doc:"Concurrent read-worker domains.")
+
+let serve_read_mix_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "read-mix" ] ~docv:"P"
+        ~doc:"Per pushed event, probability the session also issues a read.")
+
+let serve_analyze_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "analyze-every" ] ~docv:"N"
+        ~doc:"Background stats analyze every N batches (0 disables).")
+
+let serve_compact_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "compact-every" ] ~docv:"N"
+        ~doc:"Request WAL compaction every N batches (0 disables).")
+
+let serve_wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR" ~doc:"Journal every batch to a segmented WAL here.")
+
+let serve_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the run report as JSON.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the provd fleet: concurrent sessions feeding a bounded queue, one ingest \
+          owner group-committing to the WAL, snapshot-isolated read workers, and \
+          non-blocking background jobs")
+    Term.(
+      const serve $ serve_sessions_arg $ serve_events_arg $ serve_queue_arg
+      $ serve_batch_arg $ serve_snapshot_arg $ serve_readers_arg $ serve_read_mix_arg
+      $ serve_analyze_arg $ serve_compact_arg $ seed_arg $ serve_wal_arg $ serve_json_arg)
+
+let loadgen_cmd =
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the provd ingest path with deterministic sessions (no WAL, no background \
+          jobs) and report throughput and read latency")
+    Term.(
+      const loadgen $ serve_sessions_arg $ serve_events_arg $ serve_read_mix_arg $ seed_arg
+      $ serve_json_arg)
+
 (* --- lint ------------------------------------------------------------ *)
 
 let lint root checks json =
@@ -1257,7 +1410,7 @@ let () =
         generate_cmd; replay_cmd; stats_cmd; analyze_cmd; slowlog_cmd; top_cmd;
         alerts_cmd; health_cmd; profile_cmd; search_cmd; time_search_cmd; lineage_cmd;
         tree_cmd; sql_cmd; suggest_cmd; sessions_cmd; expire_cmd; wal_cmd; matview_cmd;
-        experiments_cmd; lint_cmd;
+        serve_cmd; loadgen_cmd; experiments_cmd; lint_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

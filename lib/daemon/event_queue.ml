@@ -1,0 +1,84 @@
+(* The bounded MPSC hand-off between simulated client sessions and the
+   provd ingest loop.  N producer domains block in [push] when the
+   queue is full (back-pressure, not drop); the single consumer drains
+   up to a batch at a time in [pop_batch].  [close] ends the stream:
+   producers may no longer push, and once the backlog is drained
+   [pop_batch] returns [] exactly once per caller, forever after. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable pushed : int;
+  mutable popped : int;
+  mutable max_depth : int;
+}
+
+type stats = { pushed : int; popped : int; max_depth : int; depth : int }
+
+exception Closed
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Event_queue.create: capacity must be positive";
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false;
+    pushed = 0;
+    popped = 0;
+    max_depth = 0;
+  }
+
+let capacity t = t.capacity
+
+let push t x =
+  Mutex.protect t.lock (fun () ->
+      while (not t.closed) && Queue.length t.q >= t.capacity do
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.q;
+      t.pushed <- t.pushed + 1;
+      let depth = Queue.length t.q in
+      if depth > t.max_depth then t.max_depth <- depth;
+      Condition.signal t.not_empty)
+
+(* Drain up to [max] queued items.  Blocks while the queue is open and
+   empty; an empty return means the stream is over. *)
+let pop_batch t ~max =
+  if max <= 0 then invalid_arg "Event_queue.pop_batch: max must be positive";
+  Mutex.protect t.lock (fun () ->
+      while (not t.closed) && Queue.is_empty t.q do
+        Condition.wait t.not_empty t.lock
+      done;
+      let batch = ref [] in
+      let n = ref 0 in
+      while !n < max && not (Queue.is_empty t.q) do
+        batch := Queue.pop t.q :: !batch;
+        incr n
+      done;
+      t.popped <- t.popped + !n;
+      (* Every producer parked on a full queue can make progress now;
+         broadcast rather than chain [signal]s through [push]. *)
+      Condition.broadcast t.not_full;
+      List.rev !batch)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)
+
+let is_closed t = Mutex.protect t.lock (fun () -> t.closed)
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.q)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { pushed = t.pushed; popped = t.popped; max_depth = t.max_depth;
+        depth = Queue.length t.q })

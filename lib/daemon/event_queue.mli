@@ -1,0 +1,41 @@
+(** Bounded multi-producer single-consumer queue: the hand-off between
+    simulated client sessions and the provd ingest loop.
+
+    Producers block in {!push} when the queue is at capacity
+    (back-pressure), the consumer drains up to a batch at a time in
+    {!pop_batch}, and {!close} ends the stream: late pushes raise
+    {!Closed}, and a drained, closed queue makes [pop_batch] return
+    [[]]. *)
+
+type 'a t
+
+type stats = {
+  pushed : int;  (** accepted by {!push} over the queue's lifetime *)
+  popped : int;  (** drained by {!pop_batch} *)
+  max_depth : int;  (** high-water mark of the backlog *)
+  depth : int;  (** backlog at the moment of the call *)
+}
+
+exception Closed
+(** Raised by {!push} once the queue is closed. *)
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] unless [capacity > 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking while the queue is full.  Raises {!Closed} if the
+    queue is (or becomes, while blocked) closed. *)
+
+val pop_batch : 'a t -> max:int -> 'a list
+(** Drain up to [max] items in FIFO order, blocking while the queue is
+    open and empty.  Returns [[]] only when the queue is closed and
+    fully drained. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes every blocked producer and the consumer. *)
+
+val is_closed : 'a t -> bool
+val depth : 'a t -> int
+val stats : 'a t -> stats

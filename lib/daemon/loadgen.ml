@@ -1,0 +1,82 @@
+(* Deterministic per-session event generators for the provd load
+   driver.  Each simulated session owns one tab and a disjoint id
+   space, so any interleaving of complete sessions is a valid browser
+   event stream: visit ids never collide across sessions, referrers
+   point only at the session's own earlier visits, and every session
+   opens its tab before visiting in it.  Content depends only on
+   [seed] and [session] — the same pair always yields the same
+   events, which is what makes the daemon's applied order replayable
+   serially for the equivalence tests. *)
+
+module Event = Browser.Event
+module Transition = Browser.Transition
+module Url = Webmodel.Url
+
+(* Ids are partitioned per session so streams can interleave freely. *)
+let id_base = 1_000_000
+
+let session_events ~seed ~session ~events =
+  if events <= 0 then []
+  else begin
+    let rng = Provkit_util.Prng.create (seed lxor ((session + 1) * 0x9e3779b9)) in
+    let tab = session in
+    let base_time = 1_000_000 + (session * 100_000) in
+    let vid i = (session * id_base) + i in
+    let url () =
+      Url.make
+        ~path:[ Printf.sprintf "page%d" (Provkit_util.Prng.int rng 50) ]
+        (Printf.sprintf "site%d-s%d.example" (Provkit_util.Prng.int rng 12) session)
+    in
+    let opened = Event.Tab_opened { time = base_time; tab; opener_tab = None } in
+    let last_visit = ref None in
+    let rest =
+      List.init events (fun i ->
+          let time = base_time + ((i + 1) * 7) in
+          let roll = Provkit_util.Prng.int rng 100 in
+          match (!last_visit, roll) with
+          | Some prev, r when r < 6 ->
+            (* occasional search attached to the latest page *)
+            Event.Search
+              {
+                time;
+                search_id = vid i;
+                query = Printf.sprintf "query %d of s%d" i session;
+                serp_visit = prev;
+              }
+          | Some prev, r when r < 12 ->
+            Event.Bookmark_added
+              {
+                time;
+                bookmark_id = vid i;
+                visit_id = prev;
+                url = url ();
+                title = Printf.sprintf "bookmark %d" i;
+              }
+          | Some prev, r when r < 18 ->
+            last_visit := None;
+            Event.Close { time; tab; visit_id = prev }
+          | _ ->
+            let referrer = !last_visit in
+            let transition =
+              match referrer with
+              | None -> Transition.Typed
+              | Some _ -> if Provkit_util.Prng.bool rng then Transition.Link else Transition.Reload
+            in
+            last_visit := Some (vid i);
+            Event.Visit
+              {
+                Event.visit_id = vid i;
+                time;
+                tab;
+                page = (if Provkit_util.Prng.bool rng then Some (vid i) else None);
+                url = url ();
+                title = Printf.sprintf "page %d of s%d" i session;
+                transition;
+                referrer;
+                via_bookmark = None;
+              })
+    in
+    opened :: rest
+  end
+
+let total_events ~sessions ~events = sessions * (events + 1)

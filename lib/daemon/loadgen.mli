@@ -1,0 +1,15 @@
+(** Deterministic session event streams for the provd load driver.
+
+    A session's stream depends only on [(seed, session)], owns one tab
+    and a disjoint visit-id space, and opens its tab before anything
+    else — so any FIFO interleaving of complete sessions is a valid
+    browser event stream, and the order the daemon actually applied can
+    be replayed serially for the equivalence tests. *)
+
+val session_events :
+  seed:int -> session:int -> events:int -> Browser.Event.t list
+(** [events] browsing events preceded by one [Tab_opened]; [[]] when
+    [events <= 0]. *)
+
+val total_events : sessions:int -> events:int -> int
+(** Events the whole fleet will push: [sessions * (events + 1)]. *)

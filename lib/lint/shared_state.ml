@@ -54,18 +54,20 @@ let manifest =
     e "lib/obs/metrics.ml" "gauges" Needs_lock "hot-path sets from every instrumented subsystem";
     e "lib/obs/metrics.ml" "histograms" Needs_lock
       "hot-path observations from every instrumented subsystem";
-    e "lib/obs/trace.ml" "ring" Needs_lock "span ring buffer written on every span end";
+    e "lib/obs/trace.ml" "ring" Needs_lock
+      "span ring buffer written on every span end; guarded by Trace.lock";
     e "lib/obs/trace.ml" "sink" Single_writer "JSONL sink installed by the CLI before tracing";
-    e "lib/obs/trace.ml" "id_rng" Needs_lock "id stream advanced on every span start";
-    e "lib/obs/trace.ml" "stack" Needs_lock
-      "ambient span frame stack; must become thread-local under provd";
-    e "lib/obs/flight.ml" "ring" Needs_lock "incident ring written from crash paths anywhere";
-    e "lib/obs/flight.ml" "total" Needs_lock "incident counter paired with the ring";
+    e "lib/obs/trace.ml" "id_rng" Needs_lock
+      "id stream advanced on every span start; guarded by Trace.lock";
+    e "lib/obs/flight.ml" "ring" Needs_lock
+      "incident ring written from crash paths anywhere; guarded by Flight.lock";
+    e "lib/obs/flight.ml" "total" Needs_lock
+      "incident counter paired with the ring; guarded by Flight.lock";
     e "lib/obs/flight.ml" "context" Single_writer
       "ambient context set by the CLI entry point before work starts";
     e "lib/obs/timeseries.ml" "interval" Single_writer "snapshot cadence config knob";
     e "lib/obs/timeseries.ml" "pulse_count" Needs_lock
-      "ticked by capture and WAL ingest on every event";
+      "ticked by capture and WAL ingest on every event; guarded by Timeseries.pulse_lock";
     e "lib/obs/timeseries.ml" "observers" Single_writer
       "point observers (alert engine, telemetry journal) installed at startup, then only read";
     e "lib/obs/alert.ml" "rules" Single_writer
@@ -84,13 +86,13 @@ let manifest =
       "check registry built by subsystem wiring before health runs";
     (* relstore *)
     e "lib/relstore/table.ml" "next_uid" Needs_lock
-      "process-unique table ids; tables may be created from any thread";
+      "process-unique table ids; tables may be created from any domain, so the counter is an Atomic";
     e "lib/relstore/stats.ml" "catalog" Needs_lock
-      "analyze writes and planner reads race under concurrent queries";
+      "analyze writes and planner reads race under concurrent queries; guarded by Stats.catalog_lock";
     e "lib/relstore/slowlog.ml" "threshold" Single_writer "config knob set by the CLI";
     e "lib/relstore/slowlog.ml" "cap" Single_writer "config knob set by the CLI";
     e "lib/relstore/slowlog.ml" "ring" Needs_lock
-      "deduplicated slow-query ring fed by the executor funnel";
+      "deduplicated slow-query ring fed by the executor funnel; guarded by Slowlog.lock";
     e "lib/relstore/query_exec.ml" "cache_enabled" Single_writer
       "cache on/off knob set by the CLI before queries run";
     e "lib/relstore/query_exec.ml" "matview_sources" Single_writer

@@ -34,8 +34,16 @@ let ring : incident list ref = ref [] (* newest first *)
 let total = ref 0
 let context : (string * string) list ref = ref []
 
+(* One lock for ring/total/context: incidents can fire from any domain
+   under provd (an alert rule tripping on the background domain while a
+   fault hook fires on the ingest domain).  Nests over the Trace lock
+   (record captures ancestry and recent spans) — Trace never calls back
+   into Flight, so the order is acyclic. *)
+let lock = Mutex.create ()
+
 let set_context kvs =
-  List.iter (fun (k, v) -> context := (k, v) :: List.remove_assoc k !context) kvs
+  Mutex.protect lock (fun () ->
+      List.iter (fun (k, v) -> context := (k, v) :: List.remove_assoc k !context) kvs)
 
 let take_last n l =
   let rec drop k = function xs when k <= 0 -> xs | [] -> [] | _ :: rest -> drop (k - 1) rest in
@@ -50,40 +58,42 @@ let record ?(attrs = []) ?dedup reason =
      another of the 16 ring slots: the first capture already holds the
      interesting state, so later ones just bump its repeat count.
      [total] and the metric still count every occurrence. *)
-  let existing =
-    match dedup with
-    | None -> None
-    | Some key -> List.find_opt (fun i -> i.dedup = Some key) !ring
-  in
-  (match existing with
-  | Some i -> i.repeats <- i.repeats + 1
-  | None ->
-    let snap = Metrics.snapshot () in
-    let i =
-      {
-        seq = !total + 1;
-        reason;
-        attrs;
-        ancestry = Trace.open_spans ();
-        spans = take_last span_cap (Trace.recent ());
-        snapshot = snap;
-        headline = Metrics.headline snap;
-        context = List.rev !context;
-        dedup;
-        repeats = 0;
-      }
-    in
-    ring := i :: take_first (keep - 1) !ring);
-  total := !total + 1;
+  Mutex.protect lock (fun () ->
+      let existing =
+        match dedup with
+        | None -> None
+        | Some key -> List.find_opt (fun i -> i.dedup = Some key) !ring
+      in
+      (match existing with
+      | Some i -> i.repeats <- i.repeats + 1
+      | None ->
+        let snap = Metrics.snapshot () in
+        let i =
+          {
+            seq = !total + 1;
+            reason;
+            attrs;
+            ancestry = Trace.open_spans ();
+            spans = take_last span_cap (Trace.recent ());
+            snapshot = snap;
+            headline = Metrics.headline snap;
+            context = List.rev !context;
+            dedup;
+            repeats = 0;
+          }
+        in
+        ring := i :: take_first (keep - 1) !ring);
+      total := !total + 1);
   Metrics.incr m_incidents
 
-let recorded () = !total
+let recorded () = Mutex.protect lock (fun () -> !total)
 
-let incidents () = List.rev !ring
+let incidents () = Mutex.protect lock (fun () -> List.rev !ring)
 
-let latest () = match !ring with [] -> None | i :: _ -> Some i
+let latest () =
+  Mutex.protect lock (fun () -> match !ring with [] -> None | i :: _ -> Some i)
 
-let clear () = ring := []
+let clear () = Mutex.protect lock (fun () -> ring := [])
 
 (* --- postmortem JSON --- *)
 

@@ -101,6 +101,16 @@ let telemetry_journal_appends = "prov.telemetry.journal.appends"
 let telemetry_journal_replays = "prov.telemetry.journal.replays"
 let telemetry_journal_truncations = "prov.telemetry.journal.truncations"
 
+(* --- provd serving daemon --- *)
+
+let daemon_events_ingested = "prov.daemon.events.ingested"
+let daemon_batches = "prov.daemon.batches.total"
+let daemon_queue_depth = "prov.daemon.queue.depth"
+let daemon_snapshots = "prov.daemon.snapshots.published"
+let daemon_reads = "prov.daemon.reads.served"
+let daemon_read_ns = "prov.daemon.read.latency_ns"
+let daemon_jobs = "prov.daemon.jobs.total"
+
 let all =
   [
     browser_events;
@@ -159,6 +169,13 @@ let all =
     telemetry_journal_appends;
     telemetry_journal_replays;
     telemetry_journal_truncations;
+    daemon_events_ingested;
+    daemon_batches;
+    daemon_queue_depth;
+    daemon_snapshots;
+    daemon_reads;
+    daemon_read_ns;
+    daemon_jobs;
   ]
 
 let registered name = List.mem name all
@@ -177,6 +194,8 @@ let span_wal_compact = "wal.compact"
 let span_wal_recover = "wal.recover"
 let span_wal_flush = "wal.flush"
 let span_stats_analyze = "stats.analyze"
+let span_daemon_batch = "daemon.batch"
+let span_daemon_snapshot = "daemon.snapshot"
 
 (* --- alert rule ids --- *)
 
@@ -215,8 +234,15 @@ let health_wal_manifest = "health.wal.manifest"
 let health_stats_fresh = "health.stats.fresh"
 let health_alerts_clear = "health.alerts.clear"
 let health_epochs_consistent = "health.epochs.consistent"
+let health_daemon_queue = "health.daemon.queue"
 
 let health_names =
-  [ health_wal_manifest; health_stats_fresh; health_alerts_clear; health_epochs_consistent ]
+  [
+    health_wal_manifest;
+    health_stats_fresh;
+    health_alerts_clear;
+    health_epochs_consistent;
+    health_daemon_queue;
+  ]
 
 let health_registered name = List.mem name health_names

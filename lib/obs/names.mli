@@ -160,6 +160,28 @@ val telemetry_journal_replays : string
 val telemetry_journal_truncations : string
 (** Replays that stopped at a damaged frame and kept a clean prefix. *)
 
+val daemon_events_ingested : string
+(** Events drained from the provd session queue into the store. *)
+
+val daemon_batches : string
+(** Group-commit batches the provd ingest loop has applied. *)
+
+val daemon_queue_depth : string
+(** Gauge: events waiting in the provd session queue. *)
+
+val daemon_snapshots : string
+(** Read snapshots published by the provd ingest loop. *)
+
+val daemon_reads : string
+(** Queries served from provd read snapshots. *)
+
+val daemon_read_ns : string
+(** Histogram: per-read latency against the published snapshot. *)
+
+val daemon_jobs : string
+(** Background maintenance jobs (analyze, pulse, compaction, matview
+    rebuild) completed by provd. *)
+
 val all : string list
 (** Every registered metric name, in declaration order (span names are
     not metrics and are not listed). *)
@@ -185,6 +207,12 @@ val span_wal_flush : string
 
 val span_stats_analyze : string
 (** Statistics-catalog analyze passes ([Relstore.Stats.analyze]). *)
+
+val span_daemon_batch : string
+(** One provd ingest batch: drain, capture, WAL group commit. *)
+
+val span_daemon_snapshot : string
+(** Publication of a fresh provd read snapshot. *)
 
 (** {2 Alert rule ids}
 
@@ -235,6 +263,9 @@ val health_alerts_clear : string
 
 val health_epochs_consistent : string
 (** Cache/matview epochs agree with their tables (no stale serve). *)
+
+val health_daemon_queue : string
+(** The provd session queue is accepting events and not saturated. *)
 
 val health_names : string list
 (** Every registered health check name, in declaration order. *)

@@ -17,11 +17,15 @@ type series = {
   s_rate : float;
 }
 
-type t = { cap : int; q : point Queue.t }
+type t = { cap : int; lock : Mutex.t; q : point Queue.t }
 
 let create ?(capacity = 240) () =
   if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
-  { cap = capacity; q = Queue.create () }
+  (* The per-ring lock serializes Queue mutation (structurally unsafe
+     under domains) and, by running observers inside it, the alert
+     engine's state transitions when provd pulses from a background
+     domain. *)
+  { cap = capacity; lock = Mutex.create (); q = Queue.create () }
 
 let capacity t = t.cap
 
@@ -44,14 +48,15 @@ let push t pt =
 let record ?now_ns t =
   let now = match now_ns with Some n -> n | None -> Provkit_util.Timing.now_ns () in
   let pt = { pt_ns = now; pt_snap = Metrics.snapshot () } in
-  push t pt;
+  Mutex.protect t.lock (fun () ->
+      push t pt;
+      List.iter (fun f -> f pt) !observers);
   Metrics.incr m_points;
-  List.iter (fun f -> f pt) !observers;
   pt
 
-let points t = List.of_seq (Queue.to_seq t.q)
-let length t = Queue.length t.q
-let clear t = Queue.clear t.q
+let points t = Mutex.protect t.lock (fun () -> List.of_seq (Queue.to_seq t.q))
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.q)
+let clear t = Mutex.protect t.lock (fun () -> Queue.clear t.q)
 
 (* --- deltas and rates --- *)
 
@@ -140,10 +145,18 @@ let set_pulse_interval n =
 
 let pulses () = !pulse_count
 
+(* Guards only the pulse counter: the recorded point itself is covered
+   by [default]'s own lock inside [record]. *)
+let pulse_lock = Mutex.create ()
+
 let pulse () =
   if Metrics.enabled () then begin
-    incr pulse_count;
-    if !pulse_count mod !interval = 0 then ignore (record default)
+    let due =
+      Mutex.protect pulse_lock (fun () ->
+          incr pulse_count;
+          !pulse_count mod !interval = 0)
+    in
+    if due then ignore (record default)
   end
 
 (* --- Prometheus text exposition --- *)

@@ -39,6 +39,10 @@ type ring = { mutable slots : span option array; mutable next : int; mutable wri
 
 let ring = { slots = Array.make default_capacity None; next = 0; written = 0 }
 
+(* Serializes the ring and the id stream: under provd spans close on
+   every domain, and an unguarded slot/next update pair would tear. *)
+let lock = Mutex.create ()
+
 let sink : (span -> unit) option ref = ref None
 
 let set_sink f = sink := f
@@ -47,34 +51,42 @@ let capacity () = Array.length ring.slots
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
-  ring.slots <- Array.make n None;
-  ring.next <- 0;
-  ring.written <- 0
+  Mutex.protect lock (fun () ->
+      ring.slots <- Array.make n None;
+      ring.next <- 0;
+      ring.written <- 0)
 
 let clear () =
-  Array.fill ring.slots 0 (Array.length ring.slots) None;
-  ring.next <- 0;
-  ring.written <- 0
+  Mutex.protect lock (fun () ->
+      Array.fill ring.slots 0 (Array.length ring.slots) None;
+      ring.next <- 0;
+      ring.written <- 0)
 
 (* --- span ids --- *)
 
 let id_rng = ref (Provkit_util.Prng.create 0x0b5)
 
-let seed_ids seed = id_rng := Provkit_util.Prng.create seed
+let seed_ids seed = Mutex.protect lock (fun () -> id_rng := Provkit_util.Prng.create seed)
 
 (* 0 is reserved to mean "no id" (v1 JSONL lines deserialize to it). *)
 let fresh_id () =
-  let rec go () =
-    let v = Provkit_util.Prng.bits64 !id_rng in
-    if Int64.equal v 0L then go () else v
-  in
-  go ()
+  Mutex.protect lock (fun () ->
+      let rec go () =
+        let v = Provkit_util.Prng.bits64 !id_rng in
+        if Int64.equal v 0L then go () else v
+      in
+      go ())
 
 (* --- ambient open-span stack --- *)
 
 type frame = { f_name : string; f_trace_id : int64; f_span_id : int64; f_start_ns : int64 }
 
-let stack : frame list ref = ref []
+(* The open-frame stack is ambient *per domain*: a span opened on the
+   ingest domain must never become the parent of a span recorded on a
+   reader domain, so each domain gets its own stack via DLS. *)
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let open_spans () =
   let rec build = function
@@ -90,21 +102,22 @@ let open_spans () =
         }
         :: build rest
   in
-  build !stack
+  build !(stack ())
 
 let push s =
-  let cap = Array.length ring.slots in
-  if ring.written >= cap && ring.slots.(ring.next) <> None then Metrics.incr m_dropped;
-  ring.slots.(ring.next) <- Some s;
-  ring.next <- (ring.next + 1) mod cap;
-  ring.written <- ring.written + 1;
+  Mutex.protect lock (fun () ->
+      let cap = Array.length ring.slots in
+      if ring.written >= cap && ring.slots.(ring.next) <> None then Metrics.incr m_dropped;
+      ring.slots.(ring.next) <- Some s;
+      ring.next <- (ring.next + 1) mod cap;
+      ring.written <- ring.written + 1);
   Metrics.incr m_spans;
   match !sink with None -> () | Some f -> f s
 
 let record ?(attrs = []) name ~start_ns ~dur_ns =
   if Metrics.enabled () then begin
     let trace_id, parent_id, start_ns =
-      match !stack with
+      match !(stack ()) with
       | [] -> (fresh_id (), None, start_ns)
       | f :: _ ->
           (* enclosure invariant: a child cannot start before the frame
@@ -118,6 +131,7 @@ let record ?(attrs = []) name ~start_ns ~dur_ns =
 let with_span ?(attrs = []) name f =
   if Metrics.enabled () then begin
     let start_ns = Provkit_util.Timing.now_ns () in
+    let stack = stack () in
     let trace_id, parent_id =
       match !stack with [] -> (fresh_id (), None) | fr :: _ -> (fr.f_trace_id, Some fr.f_span_id)
     in
@@ -134,18 +148,19 @@ let with_span ?(attrs = []) name f =
 
 (* Oldest-first contents of the ring. *)
 let recent () =
-  let cap = Array.length ring.slots in
-  let spans = ref [] in
-  (* slot [next] holds the oldest span; walking down from [next+cap-1]
-     and prepending yields oldest-first *)
-  for i = cap - 1 downto 0 do
-    match ring.slots.((ring.next + i) mod cap) with
-    | Some s -> spans := s :: !spans
-    | None -> ()
-  done;
-  !spans
+  Mutex.protect lock (fun () ->
+      let cap = Array.length ring.slots in
+      let spans = ref [] in
+      (* slot [next] holds the oldest span; walking down from [next+cap-1]
+         and prepending yields oldest-first *)
+      for i = cap - 1 downto 0 do
+        match ring.slots.((ring.next + i) mod cap) with
+        | Some s -> spans := s :: !spans
+        | None -> ()
+      done;
+      !spans)
 
-let recorded () = ring.written
+let recorded () = Mutex.protect lock (fun () -> ring.written)
 
 (* --- tree assembly --- *)
 

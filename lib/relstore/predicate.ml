@@ -54,15 +54,51 @@ let rec conjunctive_eqs = function
   | And ps -> List.concat_map conjunctive_eqs ps
   | _ -> []
 
-let rec conjunctive_range = function
-  | Between (col, lo, hi) -> Some (col, Some lo, Some hi)
-  | Cmp (Le, col, v) -> Some (col, None, Some v)
-  | Cmp (Ge, col, v) -> Some (col, Some v, None)
-  | And ps ->
-    (* First range found wins; merging multiple ranges on the same column
-       is possible but not needed by our workloads. *)
-    List.find_map conjunctive_range ps
-  | _ -> None
+(* Every top-level range constraint, in pre-order.  A bound is the
+   boundary value plus whether the boundary itself matches: Le/Ge and
+   Between carry inclusive bounds, Lt/Gt exclusive ones. *)
+let rec range_constraints acc = function
+  | Between (col, lo, hi) -> (col, Some (lo, true), Some (hi, true)) :: acc
+  | Cmp (Le, col, v) -> (col, None, Some (v, true)) :: acc
+  | Cmp (Lt, col, v) -> (col, None, Some (v, false)) :: acc
+  | Cmp (Ge, col, v) -> (col, Some (v, true), None) :: acc
+  | Cmp (Gt, col, v) -> (col, Some (v, false), None) :: acc
+  | And ps -> List.fold_left range_constraints acc ps
+  | _ -> acc
+
+(* On equal boundary values the exclusive bound is the tighter one:
+   [x >= v AND x > v] admits exactly what [x > v] does. *)
+let tighter_lo a b =
+  match (a, b) with
+  | None, b -> b
+  | a, None -> a
+  | Some (va, ia), Some (vb, ib) ->
+    let c = Value.compare va vb in
+    if c > 0 then a else if c < 0 then b else Some (va, ia && ib)
+
+let tighter_hi a b =
+  match (a, b) with
+  | None, b -> b
+  | a, None -> a
+  | Some (va, ia), Some (vb, ib) ->
+    let c = Value.compare va vb in
+    if c < 0 then a else if c > 0 then b else Some (va, ia && ib)
+
+let conjunctive_range p =
+  match List.rev (range_constraints [] p) with
+  | [] -> None
+  | (col, _, _) :: _ as constraints ->
+    (* The first constrained column wins (matching the historical
+       planner choice); every bound on that column is merged down to
+       the tightest pair, so [ts >= a AND ts <= b] becomes one closed
+       interval instead of the lower bound alone. *)
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (c, l, h) ->
+          if String.equal c col then (tighter_lo lo l, tighter_hi hi h) else (lo, hi))
+        (None, None) constraints
+    in
+    Some (col, lo, hi)
 
 (* Deterministic structural encoding for cache keys.  Every constructor
    gets a tag byte and its fields are length-prefixed (Codec), so two

@@ -25,10 +25,15 @@ val conjunctive_eqs : t -> (string * Value.t) list
 (** Column=value pairs guaranteed by the predicate (those at the top
     level of a conjunction), usable for index lookups. *)
 
-val conjunctive_range : t -> (string * Value.t option * Value.t option) option
-(** A single-column inclusive range implied at the top level
-    ([Between], [Cmp] with Le/Ge/Lt/Gt is widened to inclusive bounds
-    only when exact: Lt/Gt return [None]), if any. *)
+val conjunctive_range :
+  t -> (string * (Value.t * bool) option * (Value.t * bool) option) option
+(** A single-column range implied at the top level of a conjunction, if
+    any: [(col, lo, hi)] where each bound carries its boundary value
+    and an inclusivity flag ([true] for [Between]/[Le]/[Ge], [false]
+    for the strict [Lt]/[Gt]).  When several bounds constrain the same
+    column ([ts >= a AND ts <= b], stacked [Between]s, …) they are
+    merged to the tightest pair; on equal boundary values the exclusive
+    bound wins.  The first constrained column is the one reported. *)
 
 val fingerprint : Buffer.t -> t -> bool
 (** Append a deterministic, unambiguous structural encoding of the

@@ -19,6 +19,10 @@ type node = {
 }
 
 type t = {
+  lock : Mutex.t;
+      (* every entry point below mutates the table or the recency list
+         structurally (find refreshes recency and drops stale entries),
+         so concurrent reader domains must serialize on this lock *)
   mutable capacity : int;
   tbl : (string, node) Hashtbl.t;
   mutable head : node option;  (* most recently used *)
@@ -26,10 +30,16 @@ type t = {
 }
 
 let create ?(capacity = 512) () =
-  { capacity = max 0 capacity; tbl = Hashtbl.create 256; head = None; tail = None }
+  {
+    lock = Mutex.create ();
+    capacity = max 0 capacity;
+    tbl = Hashtbl.create 256;
+    head = None;
+    tail = None;
+  }
 
-let capacity t = t.capacity
-let length t = Hashtbl.length t.tbl
+let capacity t = Mutex.protect t.lock (fun () -> t.capacity)
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
 
 let unlink t node =
   (match node.prev with
@@ -52,9 +62,10 @@ let remove t node =
   Hashtbl.remove t.tbl node.key
 
 let clear t =
-  Hashtbl.reset t.tbl;
-  t.head <- None;
-  t.tail <- None
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None)
 
 (* Drop cold entries until the bound holds; returns how many went. *)
 let enforce_capacity t =
@@ -69,34 +80,37 @@ let enforce_capacity t =
   !evicted
 
 let set_capacity t n =
-  t.capacity <- max 0 n;
-  ignore (enforce_capacity t)
+  Mutex.protect t.lock (fun () ->
+      t.capacity <- max 0 n;
+      ignore (enforce_capacity t))
 
 type lookup = Hit of payload | Stale | Absent
 
 let find t ~key ~epoch =
-  match Hashtbl.find_opt t.tbl key with
-  | None -> Absent
-  | Some node when node.epoch = epoch ->
-    unlink t node;
-    push_front t node;
-    Hit node.payload
-  | Some node ->
-    remove t node;
-    Stale
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> Absent
+      | Some node when node.epoch = epoch ->
+        unlink t node;
+        push_front t node;
+        Hit node.payload
+      | Some node ->
+        remove t node;
+        Stale)
 
 let put t ~key ~epoch payload =
-  if t.capacity = 0 then 0
-  else begin
-    (match Hashtbl.find_opt t.tbl key with
-    | Some node ->
-      node.epoch <- epoch;
-      node.payload <- payload;
-      unlink t node;
-      push_front t node
-    | None ->
-      let node = { key; epoch; payload; prev = None; next = None } in
-      Hashtbl.replace t.tbl key node;
-      push_front t node);
-    enforce_capacity t
-  end
+  Mutex.protect t.lock (fun () ->
+      if t.capacity = 0 then 0
+      else begin
+        (match Hashtbl.find_opt t.tbl key with
+        | Some node ->
+          node.epoch <- epoch;
+          node.payload <- payload;
+          unlink t node;
+          push_front t node
+        | None ->
+          let node = { key; epoch; payload; prev = None; next = None } in
+          Hashtbl.replace t.tbl key node;
+          push_front t node);
+        enforce_capacity t
+      end)

@@ -12,7 +12,24 @@ type plan =
 type access =
   | A_scan
   | A_eq of Index.t * Value.t list
-  | A_range of Index.t * Value.t option * Value.t option
+  | A_range of Index.t * (Value.t * bool) option * (Value.t * bool) option
+      (* bounds carry an inclusivity flag; see Predicate.conjunctive_range *)
+
+(* Run a possibly-exclusive single-column range over the (inclusive)
+   index fold: seek with the boundary values, then skip entries sitting
+   exactly on an excluded boundary.  The skip happens inside the fold
+   callback, so an excluded boundary key is never counted as a scanned
+   candidate — [exec_stats.rows_scanned] reflects the strict range, not
+   the widened one. *)
+let fold_bound_range idx lo hi ~init ~f =
+  let key_of = Option.map (fun (v, _) -> [ v ]) in
+  let excluded bound key =
+    match (bound, key) with
+    | Some (v, false), first :: _ -> Value.compare first v = 0
+    | _ -> false
+  in
+  Index.fold_range ?lo:(key_of lo) ?hi:(key_of hi) idx ~init ~f:(fun acc key rowid ->
+      if excluded lo key || excluded hi key then acc else f acc key rowid)
 
 let eq_index table where =
   let eqs = Predicate.conjunctive_eqs where in
@@ -75,10 +92,7 @@ let plan_detail_heuristic table where =
     match access with
     | A_scan -> Table.row_count table
     | A_eq (idx, key) -> List.length (Index.find idx key)
-    | A_range (idx, lo, hi) ->
-      let lo = Option.map (fun v -> [ v ]) lo in
-      let hi = Option.map (fun v -> [ v ]) hi in
-      Index.fold_range ?lo ?hi idx ~init:0 ~f:(fun acc _ _ -> acc + 1)
+    | A_range (idx, lo, hi) -> fold_bound_range idx lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
   in
   { chosen = plan_of_access access; estimated_rows; table_rows = Table.row_count table;
     est_from_stats = false }
@@ -111,7 +125,10 @@ let estimate_access ts access ~table_rows =
         n (Index.column_names idx) key
   | A_range (idx, lo, hi) -> begin
     match Index.column_names idx with
-    | col :: _ -> Stats.estimate_range ts col lo hi
+    (* The estimator works on plain boundary values: dropping the
+       inclusivity flag only shifts the estimate by the boundary key's
+       own frequency, well inside histogram resolution. *)
+    | col :: _ -> Stats.estimate_range ts col (Option.map fst lo) (Option.map fst hi)
     | [] -> float_of_int table_rows
   end
 
@@ -150,10 +167,8 @@ let rows_of_access table = function
   | A_eq (idx, key) ->
     List.map (fun rowid -> (rowid, Table.get table rowid)) (Index.find idx key)
   | A_range (idx, lo, hi) ->
-    let lo = Option.map (fun v -> [ v ]) lo in
-    let hi = Option.map (fun v -> [ v ]) hi in
     let hits =
-      Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid ->
+      fold_bound_range idx lo hi ~init:[] ~f:(fun acc _key rowid ->
           (rowid, Table.get table rowid) :: acc)
     in
     List.rev hits
@@ -564,9 +579,7 @@ let probe_rowids access =
   | A_scan -> None
   | A_eq (idx, key) -> Some (Index.find idx key)
   | A_range (idx, lo, hi) ->
-      let lo = Option.map (fun v -> [ v ]) lo in
-      let hi = Option.map (fun v -> [ v ]) hi in
-      Some (List.rev (Index.fold_range ?lo ?hi idx ~init:[] ~f:(fun acc _key rowid -> rowid :: acc)))
+      Some (List.rev (fold_bound_range idx lo hi ~init:[] ~f:(fun acc _key rowid -> rowid :: acc)))
 
 let fetch_rows table rowids =
   match rowids with

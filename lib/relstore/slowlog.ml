@@ -23,6 +23,11 @@ let threshold = ref 1_000_000
 let cap = ref 128
 let ring : (int, entry) Hashtbl.t = Hashtbl.create 64
 
+(* Serializes every structural access to [ring]: under provd the
+   executor funnel runs on any reader domain, and concurrent Hashtbl
+   mutation is memory-unsafe. *)
+let lock = Mutex.create ()
+
 let threshold_ns () = !threshold
 
 (* One hour: a "slow query" threshold beyond that is a typo (most
@@ -82,15 +87,17 @@ let evict_oldest () =
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Slowlog.set_capacity: must be positive";
-  cap := n;
-  while Hashtbl.length ring > !cap do
-    evict_oldest ()
-  done
+  Mutex.protect lock (fun () ->
+      cap := n;
+      while Hashtbl.length ring > !cap do
+        evict_oldest ()
+      done)
 
 let note ~table ~op ~plan ~detail ~elapsed_ns ~rows_scanned ~rows_returned =
   let fp = fingerprint ~table ~op ~plan ~detail in
   let now = Provkit_util.Timing.now_ns () in
-  (match Hashtbl.find_opt ring fp with
+  Mutex.protect lock (fun () ->
+  match Hashtbl.find_opt ring fp with
   | Some e ->
     e.e_count <- e.e_count + 1;
     e.e_total_ns <- e.e_total_ns + elapsed_ns;
@@ -120,11 +127,11 @@ let note ~table ~op ~plan ~detail ~elapsed_ns ~rows_scanned ~rows_returned =
   Obs.Metrics.incr m_notes
 
 let entries () =
-  Hashtbl.fold (fun _ e acc -> e :: acc) ring []
+  Mutex.protect lock (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) ring [])
   |> List.sort (fun a b -> Int.compare b.e_total_ns a.e_total_ns)
 
-let length () = Hashtbl.length ring
-let clear () = Hashtbl.reset ring
+let length () = Mutex.protect lock (fun () -> Hashtbl.length ring)
+let clear () = Mutex.protect lock (fun () -> Hashtbl.reset ring)
 
 (* --- serialization --- *)
 

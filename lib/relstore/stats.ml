@@ -83,6 +83,11 @@ let summarize_column ~buckets ~indexed schema rows col =
 
 let catalog : (int, table_stats) Hashtbl.t = Hashtbl.create 16
 
+(* Serializes structural access to [catalog]: under provd the analyze
+   job runs on a background domain while planner lookups come from
+   reader domains, and concurrent Hashtbl mutation is memory-unsafe. *)
+let catalog_lock = Mutex.create ()
+
 let analyze ?sample ?(buckets = 32) ?(seed = 42) table =
   let t0 = Provkit_util.Timing.now_ns () in
   let stats =
@@ -120,7 +125,7 @@ let analyze ?sample ?(buckets = 32) ?(seed = 42) table =
           ts_columns = columns;
         })
   in
-  Hashtbl.replace catalog stats.ts_uid stats;
+  Mutex.protect catalog_lock (fun () -> Hashtbl.replace catalog stats.ts_uid stats);
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_analyzes;
     Obs.Metrics.observe h_analyze_ns
@@ -131,15 +136,18 @@ let analyze ?sample ?(buckets = 32) ?(seed = 42) table =
 let analyze_database ?sample ?buckets ?seed db =
   List.map (analyze ?sample ?buckets ?seed) (Database.tables db)
 
-let lookup table = Hashtbl.find_opt catalog (Table.uid table)
+let lookup table =
+  Mutex.protect catalog_lock (fun () -> Hashtbl.find_opt catalog (Table.uid table))
 
 let fresh table =
   match lookup table with
   | Some s when s.ts_epoch = Table.epoch table -> Some s
   | _ -> None
 
-let invalidate table = Hashtbl.remove catalog (Table.uid table)
-let clear () = Hashtbl.reset catalog
+let invalidate table =
+  Mutex.protect catalog_lock (fun () -> Hashtbl.remove catalog (Table.uid table))
+
+let clear () = Mutex.protect catalog_lock (fun () -> Hashtbl.reset catalog)
 
 (* The freshness health check: the planner only benefits from the
    catalog while every table's entry matches its current epoch.  A

@@ -9,12 +9,13 @@ type t = {
 
 (* Process-unique table identity, so caches keyed by table survive a
    table being garbage-collected and another allocated at the same
-   address: a uid is never reused. *)
-let next_uid = ref 0
+   address: a uid is never reused.  Atomic because provd snapshot
+   rebuilds create tables on more than one domain. *)
+let next_uid = Atomic.make 0
 
 let create schema =
-  incr next_uid;
-  { schema; rows = Hashtbl.create 64; next_id = 1; indexes = []; uid = !next_uid; epoch = 0 }
+  let uid = Atomic.fetch_and_add next_uid 1 + 1 in
+  { schema; rows = Hashtbl.create 64; next_id = 1; indexes = []; uid; epoch = 0 }
 
 let schema t = t.schema
 let name t = Schema.name t.schema

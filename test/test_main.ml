@@ -27,6 +27,7 @@ let () =
       ("relstore.matview", Test_matview.suite);
       ("relstore.sql", Test_relstore_sql.suite);
       ("relstore.query_plan", Test_query_plan.suite);
+      ("relstore.planner_regression", Test_planner_regression.suite);
       ("relstore.profile", Test_profile.suite);
       ("relstore.stats_catalog", Test_stats_catalog.suite);
       ("relstore.slowlog", Test_slowlog.suite);
@@ -48,6 +49,7 @@ let () =
       ("core.suggest", Test_suggest.suite);
       ("core.sessions_dot", Test_sessions_dot.suite);
       ("core.retention", Test_retention.suite);
+      ("daemon", Test_daemon.suite);
       ("harness", Test_harness.suite);
       ("lint", Test_provlint.suite);
       ("lint.callgraph", Test_callgraph.suite);

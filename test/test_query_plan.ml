@@ -75,8 +75,14 @@ let test_range_shapes () =
   check_plan t "inclusive comparison widens to a range"
     (Q.Index_range "by_day")
     (P.Cmp (P.Ge, "day", Value.Int 6));
-  (* Strict bounds cannot be widened exactly; the executor scans. *)
-  check_plan t "strict comparison stays a scan" Q.Full_scan (P.Cmp (P.Lt, "day", Value.Int 6))
+  (* Strict bounds carry an exclusive flag down to the executor, which
+     skips the boundary key inside the index fold. *)
+  check_plan t "strict comparison uses the range index"
+    (Q.Index_range "by_day")
+    (P.Cmp (P.Lt, "day", Value.Int 6));
+  check_plan t "strict lower bound uses the range index"
+    (Q.Index_range "by_day")
+    (P.Cmp (P.Gt, "day", Value.Int 6))
 
 let test_mixed_shapes () =
   let t = fixture () in

@@ -37,7 +37,8 @@ grep -q '"ns_per_op":' "$work/base.json" ||
 for row in hot-select-cold hot-select-cached wal-ingest-unbatched wal-ingest-batched \
            matview-update cold-rescan \
            stats-analyze estimate-error-heuristic estimate-error-stats \
-           lint-full-tree alert-eval; do
+           lint-full-tree alert-eval \
+           daemon-ingest daemon-query-p99 range-strict-full-scan range-strict-index; do
   grep -q "\"name\":\"$row\"" "$work/base.json" ||
     { echo "bench_smoke: artifact missing expected row $row"; exit 1; }
 done
@@ -50,6 +51,16 @@ check_speedup() {
 check_speedup hot-select-cold hot-select-cached
 check_speedup wal-ingest-unbatched wal-ingest-batched
 check_speedup cold-rescan matview-update
+# The strict-range planner fix: the reopened index path must beat the
+# full scan at the same selectivity by at least 5x.
+check_speedup range-strict-full-scan range-strict-index
+
+# The daemon pair must carry real measurements: a fleet that ingested
+# nothing or served no reads writes zeros here.
+daemon_ns="$(grep '"name":"daemon-ingest"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+daemon_p99="$(grep '"name":"daemon-query-p99"' "$work/base.json" | sed 's/.*"ns_per_op":\([0-9.]*\).*/\1/')"
+awk -v i="$daemon_ns" -v p="$daemon_p99" 'BEGIN { exit !(i > 0 && p > 0) }' ||
+  { echo "bench_smoke: daemon rows not positive (ingest=$daemon_ns p99=$daemon_p99)"; exit 1; }
 
 # The estimate-error pair stores max error ratios (not latencies) in
 # ns_per_op: the stats-guided estimator must be strictly more accurate
